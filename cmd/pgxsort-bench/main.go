@@ -1,0 +1,106 @@
+// Command pgxsort-bench regenerates the tables and figures of the paper's
+// evaluation section (§V). Each experiment prints the rows/series the
+// paper plots; -csv exports them for external plotting.
+//
+// Usage:
+//
+//	pgxsort-bench -list
+//	pgxsort-bench -exp fig5,fig6 -n 2000000 -procs 8,16,32,52
+//	pgxsort-bench -exp all -csv out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pgxsort/internal/harness"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		n         = flag.Int("n", 1<<20, "total keys for the distribution datasets")
+		procs     = flag.String("procs", "8,16,32,52", "comma-separated processor sweep")
+		workers   = flag.Int("workers", 2, "worker threads per processor")
+		seed      = flag.Uint64("seed", 0, "generator seed (0 = default)")
+		transport = flag.String("transport", "chan", "transport: chan or tcp")
+		twScale   = flag.Int("twitter-scale", 16, "RMAT scale of the Twitter stand-in (2^scale vertices)")
+		reps      = flag.Int("reps", 1, "repetitions per timed point (fastest kept)")
+		csvDir    = flag.String("csv", "", "directory to export CSV files (optional)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("  %-22s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	procList, err := parseInts(*procs)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := harness.Config{
+		N:            *n,
+		Procs:        procList,
+		Workers:      *workers,
+		Seed:         *seed,
+		Transport:    *transport,
+		TwitterScale: *twScale,
+		Reps:         *reps,
+	}
+
+	ids := strings.Split(*exp, ",")
+	for i := range ids {
+		ids[i] = strings.TrimSpace(ids[i])
+	}
+	tables, err := harness.Run(ids, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	counts := map[string]int{}
+	for i := range tables {
+		fmt.Println(tables[i].Render())
+		if *csvDir != "" {
+			counts[tables[i].ID]++
+			n := 0
+			if counts[tables[i].ID] > 1 {
+				n = counts[tables[i].ID]
+			}
+			path, err := tables[i].WriteCSV(*csvDir, n)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("(csv: %s)\n\n", path)
+		}
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad processor count %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no processor counts given")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pgxsort-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("8, 16,32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{8, 16, 32}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseInts = %v", got)
+		}
+	}
+	if _, err := parseInts("8,x"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := parseInts("0"); err == nil {
+		t.Fatal("zero accepted")
+	}
+	if _, err := parseInts(""); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := parseInts(",,"); err == nil {
+		t.Fatal("only separators accepted")
+	}
+}

@@ -1,0 +1,213 @@
+// Command pgxsort generates, sorts and verifies key files with the
+// distributed sorting library.
+//
+// Usage:
+//
+//	pgxsort generate -kind right-skewed -n 1000000 -out keys.bin
+//	pgxsort sort     -in keys.bin -out sorted.bin -procs 8 -workers 4
+//	pgxsort verify   -in sorted.bin
+//	pgxsort info     -in keys.bin
+//
+// Key files are little-endian uint64 arrays.
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pgxsort"
+	"pgxsort/internal/dist"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "sort":
+		err = cmdSort(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pgxsort:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: pgxsort <generate|sort|verify|info> [flags]
+  generate -kind <uniform|normal|right-skewed|exponential> -n N [-seed S] [-domain D] -out FILE
+  sort     -in FILE -out FILE [-procs P] [-workers W] [-transport chan|tcp] [-sample-factor F] [-no-investigator]
+  verify   -in FILE
+  info     -in FILE`)
+	os.Exit(2)
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	kind := fs.String("kind", "uniform", "distribution kind")
+	n := fs.Int("n", 1<<20, "number of keys")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	domain := fs.Uint64("domain", 0, "value domain (0 = default)")
+	out := fs.String("out", "", "output file")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("generate: -out required")
+	}
+	k, err := dist.ParseKind(*kind)
+	if err != nil {
+		return err
+	}
+	keys := make([]uint64, *n)
+	dist.Gen{Kind: k, Seed: *seed, Domain: *domain}.Fill(keys)
+	if err := writeKeys(*out, keys); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d %s keys to %s\n", *n, k, *out)
+	return nil
+}
+
+func cmdSort(args []string) error {
+	fs := flag.NewFlagSet("sort", flag.ExitOnError)
+	in := fs.String("in", "", "input file")
+	out := fs.String("out", "", "output file")
+	procs := fs.Int("procs", 8, "simulated processors")
+	workers := fs.Int("workers", 2, "workers per processor")
+	transport := fs.String("transport", "chan", "transport: chan or tcp")
+	factor := fs.Float64("sample-factor", 1.0, "sample size factor (paper's X multiplier)")
+	noInv := fs.Bool("no-investigator", false, "disable the duplicate-splitter investigator")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("sort: -in and -out required")
+	}
+	keys, err := readKeys(*in)
+	if err != nil {
+		return err
+	}
+	sorted, report, err := pgxsort.Sort(keys, pgxsort.Options{
+		Procs:               *procs,
+		WorkersPerProc:      *workers,
+		Transport:           *transport,
+		SampleFactor:        *factor,
+		DisableInvestigator: *noInv,
+	})
+	if err != nil {
+		return err
+	}
+	if err := writeKeys(*out, sorted); err != nil {
+		return err
+	}
+	fmt.Print(report.String())
+	fmt.Printf("wrote %d sorted keys to %s\n", len(sorted), *out)
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	in := fs.String("in", "", "input file")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("verify: -in required")
+	}
+	keys, err := readKeys(*in)
+	if err != nil {
+		return err
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			return fmt.Errorf("NOT sorted: order violated at index %d (%d < %d)",
+				i, keys[i], keys[i-1])
+		}
+	}
+	fmt.Printf("%s: %d keys, sorted\n", *in, len(keys))
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "", "input file")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("info: -in required")
+	}
+	keys, err := readKeys(*in)
+	if err != nil {
+		return err
+	}
+	if len(keys) == 0 {
+		fmt.Printf("%s: empty\n", *in)
+		return nil
+	}
+	minK, maxK := keys[0], keys[0]
+	for _, k := range keys {
+		if k < minK {
+			minK = k
+		}
+		if k > maxK {
+			maxK = k
+		}
+	}
+	fmt.Printf("%s: %d keys, min %d, max %d, duplicate ratio %.3f\n",
+		*in, len(keys), minK, maxK, dist.DuplicateRatio(keys))
+	h := dist.NewHistogram(keys, maxK+1, 16)
+	fmt.Print(h.Render(48))
+	return nil
+}
+
+func writeKeys(path string, keys []uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	var buf [8]byte
+	for _, k := range keys {
+		binary.LittleEndian.PutUint64(buf[:], k)
+		if _, err := w.Write(buf[:]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readKeys(path string) ([]uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size()%8 != 0 {
+		return nil, fmt.Errorf("%s: size %d is not a multiple of 8", path, st.Size())
+	}
+	keys := make([]uint64, st.Size()/8)
+	r := bufio.NewReaderSize(f, 1<<20)
+	var buf [8]byte
+	for i := range keys {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return nil, err
+		}
+		keys[i] = binary.LittleEndian.Uint64(buf[:])
+	}
+	return keys, nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestKeyFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "keys.bin")
+	in := []uint64{0, 1, 1<<64 - 1, 42}
+	if err := writeKeys(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readKeys(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d keys, wrote %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("key %d: %d != %d", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReadKeysRejectsBadSize(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.bin")
+	if err := os.WriteFile(path, []byte{1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readKeys(path); err == nil {
+		t.Fatal("3-byte file accepted")
+	}
+	if _, err := readKeys(filepath.Join(dir, "missing.bin")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestEmptyKeyFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty.bin")
+	if err := writeKeys(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readKeys(path)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty round trip: %v, %d keys", err, len(out))
+	}
+}

@@ -1,0 +1,56 @@
+// Quickstart: sort a slice across a simulated PGX.D cluster and inspect
+// the result with the paper's user-facing API (search, top-k, origins).
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pgxsort"
+	"pgxsort/internal/dist"
+)
+
+func main() {
+	// One million keys from a normal distribution.
+	keys := dist.Gen{Kind: dist.Normal, Seed: 42}.Keys(1_000_000)
+
+	// One-shot sort on 8 simulated processors with 4 workers each.
+	sorted, report, err := pgxsort.Sort(keys, pgxsort.Options{
+		Procs:          8,
+		WorkersPerProc: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sorted %d keys in %v\n", len(sorted), report.Total)
+	fmt.Printf("min=%d max=%d\n", sorted[0], sorted[len(sorted)-1])
+	fmt.Printf("load balance (max/avg): %.3f\n", report.LoadImbalance())
+	fmt.Printf("per-step times:\n")
+	for s := pgxsort.Step(0); s < pgxsort.NumSteps; s++ {
+		fmt.Printf("  %-12s %v\n", s, report.Steps[s])
+	}
+
+	// The full Result API needs distributed input; reuse a cluster.
+	cluster, err := pgxsort.NewCluster[uint64](pgxsort.Options{Procs: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	res, err := cluster.SortSlice(keys[:10_000])
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Distributed binary search.
+	probe := res.Keys()[5_000]
+	proc, local, global, found := res.Search(probe)
+	fmt.Printf("Search(%d): proc=%d local=%d global=%d found=%v\n",
+		probe, proc, local, global, found)
+	// Top-k with provenance: where did the largest keys start out?
+	for _, e := range res.Top(3) {
+		fmt.Printf("top key %d came from processor %d, index %d\n",
+			e.Key, e.Proc, e.Index)
+	}
+}

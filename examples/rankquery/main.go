@@ -1,0 +1,73 @@
+// Rankquery demonstrates the query-side API the paper motivates (§III):
+// answering rank and top-value questions over distributed data. It
+// compares the distributed top-k fast path (each processor ships only k
+// candidates) against a full sort, then summarizes the distribution with
+// quantiles and rank lookups.
+//
+// Run: go run ./examples/rankquery
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"pgxsort"
+	"pgxsort/internal/dist"
+)
+
+func main() {
+	const n = 2_000_000
+	keys := dist.Gen{Kind: dist.Exponential, Seed: 3}.Keys(n)
+	opts := pgxsort.Options{Procs: 8, WorkersPerProc: 2}
+
+	// Fast path: distributed top-k without sorting.
+	top, err := pgxsort.TopK(keys, 10, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top-10 via distributed selection: %v (moved only %d bytes)\n",
+		top.Duration, top.BytesSent)
+	for i, e := range top.Entries[:3] {
+		fmt.Printf("  #%d: key %d (origin proc %d, index %d)\n", i+1, e.Key, e.Proc, e.Index)
+	}
+
+	// Full sort for rank queries and quantiles.
+	cluster, err := pgxsort.NewCluster[uint64](opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	res, err := cluster.SortSlice(keys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full sort: %v — top-k was %.1fx faster and moved %.4f%% of the data bytes\n",
+		res.Report.Total,
+		float64(res.Report.Total)/float64(max(int64(top.Duration), 1)),
+		100*float64(top.BytesSent)/float64(res.Report.DataBytes))
+
+	// Cross-check the fast path against the sorted truth.
+	for i, e := range res.Top(10) {
+		if top.Entries[i].Key != e.Key {
+			log.Fatalf("top-k mismatch at %d: %d != %d", i, top.Entries[i].Key, e.Key)
+		}
+	}
+	fmt.Println("top-k agrees with the full sort")
+
+	// Distribution summary: deciles.
+	qs, err := res.Quantiles(10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deciles: %v\n", qs)
+
+	// Rank lookups via distributed binary search.
+	elapsed := time.Now()
+	for _, probe := range []uint64{0, qs[5], qs[9]} {
+		_, _, rank, _ := res.Search(probe)
+		fmt.Printf("rank of key %d: %d of %d (%.1f%%)\n",
+			probe, rank, res.Len(), 100*float64(rank)/float64(res.Len()))
+	}
+	fmt.Printf("3 rank lookups in %v\n", time.Since(elapsed))
+}

@@ -1,0 +1,67 @@
+// Package alloc provides explicit accounting of temporary buffer memory.
+//
+// The paper's Figure 11 separates resident memory (the data being sorted)
+// from temporary memory that is allocated during the sort and freed at the
+// end (merge scratch space, staging buffers, sample buffers). Go's runtime
+// does not attribute allocations to subsystems, so modules in this repo
+// report their temporary allocations to a Tracker and the harness reads the
+// high-water mark per node.
+package alloc
+
+import "sync/atomic"
+
+// Tracker accounts bytes of live temporary memory and remembers the
+// high-water mark. All methods are safe for concurrent use. The zero value
+// is ready to use.
+type Tracker struct {
+	live int64
+	peak int64
+}
+
+// Alloc records that n bytes of temporary memory were allocated.
+// It returns n so callers can wrap allocation sites.
+func (t *Tracker) Alloc(n int64) int64 {
+	if t == nil || n <= 0 {
+		return n
+	}
+	live := atomic.AddInt64(&t.live, n)
+	for {
+		peak := atomic.LoadInt64(&t.peak)
+		if live <= peak || atomic.CompareAndSwapInt64(&t.peak, peak, live) {
+			return n
+		}
+	}
+}
+
+// Free records that n bytes of temporary memory were released.
+func (t *Tracker) Free(n int64) {
+	if t == nil || n <= 0 {
+		return
+	}
+	atomic.AddInt64(&t.live, -n)
+}
+
+// Live reports the bytes of temporary memory currently accounted live.
+func (t *Tracker) Live() int64 {
+	if t == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&t.live)
+}
+
+// Peak reports the high-water mark of live temporary memory.
+func (t *Tracker) Peak() int64 {
+	if t == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&t.peak)
+}
+
+// Reset clears the live counter and high-water mark.
+func (t *Tracker) Reset() {
+	if t == nil {
+		return
+	}
+	atomic.StoreInt64(&t.live, 0)
+	atomic.StoreInt64(&t.peak, 0)
+}

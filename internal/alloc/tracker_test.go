@@ -1,0 +1,88 @@
+package alloc
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTrackerBasics(t *testing.T) {
+	var tr Tracker
+	if tr.Live() != 0 || tr.Peak() != 0 {
+		t.Fatal("zero value not zeroed")
+	}
+	tr.Alloc(100)
+	if tr.Live() != 100 || tr.Peak() != 100 {
+		t.Fatalf("after alloc: live=%d peak=%d", tr.Live(), tr.Peak())
+	}
+	tr.Alloc(50)
+	tr.Free(100)
+	if tr.Live() != 50 {
+		t.Fatalf("live = %d, want 50", tr.Live())
+	}
+	if tr.Peak() != 150 {
+		t.Fatalf("peak = %d, want 150", tr.Peak())
+	}
+	tr.Free(50)
+	if tr.Live() != 0 {
+		t.Fatalf("live = %d, want 0", tr.Live())
+	}
+	tr.Reset()
+	if tr.Peak() != 0 {
+		t.Fatalf("peak after reset = %d", tr.Peak())
+	}
+}
+
+func TestTrackerIgnoresNonPositive(t *testing.T) {
+	var tr Tracker
+	tr.Alloc(0)
+	tr.Alloc(-5)
+	tr.Free(0)
+	tr.Free(-5)
+	if tr.Live() != 0 || tr.Peak() != 0 {
+		t.Fatalf("non-positive sizes changed state: live=%d peak=%d", tr.Live(), tr.Peak())
+	}
+}
+
+func TestTrackerNilSafe(t *testing.T) {
+	var tr *Tracker
+	if tr.Alloc(10) != 10 {
+		t.Fatal("nil Alloc should pass through n")
+	}
+	tr.Free(10)
+	tr.Reset()
+	if tr.Live() != 0 || tr.Peak() != 0 {
+		t.Fatal("nil tracker should report zeros")
+	}
+}
+
+func TestTrackerConcurrentPeak(t *testing.T) {
+	var tr Tracker
+	const workers = 8
+	const rounds = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				tr.Alloc(10)
+				tr.Free(10)
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Live() != 0 {
+		t.Fatalf("live = %d after balanced ops", tr.Live())
+	}
+	peak := tr.Peak()
+	if peak < 10 || peak > workers*10 {
+		t.Fatalf("peak = %d outside [10, %d]", peak, workers*10)
+	}
+}
+
+func TestTrackerAllocReturnsN(t *testing.T) {
+	var tr Tracker
+	if got := tr.Alloc(42); got != 42 {
+		t.Fatalf("Alloc returned %d", got)
+	}
+}

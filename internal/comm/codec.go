@@ -1,0 +1,150 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Codec serializes keys of type K into fixed-width wire form. The TCP
+// transport needs one; the in-process transport moves typed slices and
+// only uses KeySize for traffic accounting.
+type Codec[K any] interface {
+	// KeySize is the fixed wire size of one key in bytes.
+	KeySize() int
+	// PutKey writes k into b, which has at least KeySize bytes.
+	PutKey(b []byte, k K)
+	// Key reads a key from b, which has at least KeySize bytes.
+	Key(b []byte) K
+}
+
+// U64Codec serializes uint64 keys little-endian.
+type U64Codec struct{}
+
+func (U64Codec) KeySize() int              { return 8 }
+func (U64Codec) PutKey(b []byte, k uint64) { binary.LittleEndian.PutUint64(b, k) }
+func (U64Codec) Key(b []byte) uint64       { return binary.LittleEndian.Uint64(b) }
+
+// I64Codec serializes int64 keys little-endian (two's complement).
+type I64Codec struct{}
+
+func (I64Codec) KeySize() int             { return 8 }
+func (I64Codec) PutKey(b []byte, k int64) { binary.LittleEndian.PutUint64(b, uint64(k)) }
+func (I64Codec) Key(b []byte) int64       { return int64(binary.LittleEndian.Uint64(b)) }
+
+// F64Codec serializes float64 keys via their IEEE-754 bits.
+type F64Codec struct{}
+
+func (F64Codec) KeySize() int { return 8 }
+func (F64Codec) PutKey(b []byte, k float64) {
+	binary.LittleEndian.PutUint64(b, math.Float64bits(k))
+}
+func (F64Codec) Key(b []byte) float64 { return math.Float64frombits(binary.LittleEndian.Uint64(b)) }
+
+// U32Codec serializes uint32 keys little-endian.
+type U32Codec struct{}
+
+func (U32Codec) KeySize() int              { return 4 }
+func (U32Codec) PutKey(b []byte, k uint32) { binary.LittleEndian.PutUint32(b, k) }
+func (U32Codec) Key(b []byte) uint32       { return binary.LittleEndian.Uint32(b) }
+
+// EncodeEntries appends the wire form of entries to dst and returns the
+// extended slice. Layout per entry: key (c.KeySize bytes), proc (uint32),
+// index (uint32).
+func EncodeEntries[K any](dst []byte, entries []Entry[K], c Codec[K]) []byte {
+	ks := c.KeySize()
+	need := len(entries) * (ks + originBytes)
+	dst = grow(dst, need)
+	off := len(dst) - need
+	for _, e := range entries {
+		c.PutKey(dst[off:], e.Key)
+		off += ks
+		binary.LittleEndian.PutUint32(dst[off:], e.Proc)
+		binary.LittleEndian.PutUint32(dst[off+4:], e.Index)
+		off += originBytes
+	}
+	return dst
+}
+
+// DecodeEntries parses n entries from b (as written by EncodeEntries) and
+// returns the remaining bytes.
+func DecodeEntries[K any](b []byte, n int, c Codec[K]) ([]Entry[K], []byte, error) {
+	ks := c.KeySize()
+	need := n * (ks + originBytes)
+	if len(b) < need {
+		return nil, b, fmt.Errorf("comm: short entry payload: have %d bytes, need %d", len(b), need)
+	}
+	entries := make([]Entry[K], n)
+	off := 0
+	for i := 0; i < n; i++ {
+		entries[i].Key = c.Key(b[off:])
+		off += ks
+		entries[i].Proc = binary.LittleEndian.Uint32(b[off:])
+		entries[i].Index = binary.LittleEndian.Uint32(b[off+4:])
+		off += originBytes
+	}
+	return entries, b[need:], nil
+}
+
+// EncodeKeys appends the wire form of keys to dst.
+func EncodeKeys[K any](dst []byte, keys []K, c Codec[K]) []byte {
+	ks := c.KeySize()
+	need := len(keys) * ks
+	dst = grow(dst, need)
+	off := len(dst) - need
+	for _, k := range keys {
+		c.PutKey(dst[off:], k)
+		off += ks
+	}
+	return dst
+}
+
+// DecodeKeys parses n keys from b and returns the remaining bytes.
+func DecodeKeys[K any](b []byte, n int, c Codec[K]) ([]K, []byte, error) {
+	ks := c.KeySize()
+	need := n * ks
+	if len(b) < need {
+		return nil, b, fmt.Errorf("comm: short key payload: have %d bytes, need %d", len(b), need)
+	}
+	keys := make([]K, n)
+	for i := 0; i < n; i++ {
+		keys[i] = c.Key(b[i*ks:])
+	}
+	return keys, b[need:], nil
+}
+
+// EncodeInts appends int64 metadata values to dst.
+func EncodeInts(dst []byte, ints []int64) []byte {
+	need := len(ints) * 8
+	dst = grow(dst, need)
+	off := len(dst) - need
+	for _, v := range ints {
+		binary.LittleEndian.PutUint64(dst[off:], uint64(v))
+		off += 8
+	}
+	return dst
+}
+
+// DecodeInts parses n int64 values from b and returns the remaining bytes.
+func DecodeInts(b []byte, n int) ([]int64, []byte, error) {
+	need := n * 8
+	if len(b) < need {
+		return nil, b, fmt.Errorf("comm: short int payload: have %d bytes, need %d", len(b), need)
+	}
+	ints := make([]int64, n)
+	for i := 0; i < n; i++ {
+		ints[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return ints, b[need:], nil
+}
+
+// grow extends b by n zero bytes, reallocating if needed.
+func grow(b []byte, n int) []byte {
+	l := len(b)
+	if cap(b)-l < n {
+		nb := make([]byte, l+n, (l+n)*2)
+		copy(nb, b)
+		return nb
+	}
+	return b[:l+n]
+}

@@ -1,0 +1,197 @@
+package comm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	for k := KSamples; k <= KControl; k++ {
+		if s := k.String(); s == "" || s[0] == 'K' {
+			t.Errorf("Kind(%d).String() = %q", k, s)
+		}
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestLogicalBytes(t *testing.T) {
+	m := Message[uint64]{
+		Entries: make([]Entry[uint64], 3),
+		Keys:    make([]uint64, 2),
+		Ints:    make([]int64, 5),
+	}
+	// 3*(8+8) + 2*8 + 5*8 = 48 + 16 + 40 = 104.
+	if got := m.LogicalBytes(8); got != 104 {
+		t.Fatalf("LogicalBytes = %d, want 104", got)
+	}
+	empty := Message[uint64]{}
+	if got := empty.LogicalBytes(8); got != 0 {
+		t.Fatalf("empty LogicalBytes = %d", got)
+	}
+}
+
+func TestEntryRoundTrip(t *testing.T) {
+	in := []Entry[uint64]{
+		{Key: 0, Proc: 0, Index: 0},
+		{Key: math.MaxUint64, Proc: math.MaxUint32, Index: math.MaxUint32},
+		{Key: 12345, Proc: 7, Index: 99},
+	}
+	buf := EncodeEntries(nil, in, U64Codec{})
+	if len(buf) != len(in)*16 {
+		t.Fatalf("encoded %d bytes, want %d", len(buf), len(in)*16)
+	}
+	out, rest, err := DecodeEntries(buf, len(in), U64Codec{})
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode: %v, %d leftover", err, len(rest))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("entry %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestKeyRoundTripAllCodecs(t *testing.T) {
+	t.Run("u64", func(t *testing.T) {
+		in := []uint64{0, 1, math.MaxUint64}
+		buf := EncodeKeys(nil, in, U64Codec{})
+		out, _, err := DecodeKeys(buf, len(in), U64Codec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				t.Fatal("u64 round trip failed")
+			}
+		}
+	})
+	t.Run("i64", func(t *testing.T) {
+		in := []int64{math.MinInt64, -1, 0, math.MaxInt64}
+		buf := EncodeKeys(nil, in, I64Codec{})
+		out, _, err := DecodeKeys(buf, len(in), I64Codec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				t.Fatal("i64 round trip failed")
+			}
+		}
+	})
+	t.Run("f64", func(t *testing.T) {
+		in := []float64{0, -1.5, math.Inf(1), math.SmallestNonzeroFloat64}
+		buf := EncodeKeys(nil, in, F64Codec{})
+		out, _, err := DecodeKeys(buf, len(in), F64Codec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				t.Fatal("f64 round trip failed")
+			}
+		}
+	})
+	t.Run("u32", func(t *testing.T) {
+		in := []uint32{0, 7, math.MaxUint32}
+		buf := EncodeKeys(nil, in, U32Codec{})
+		if len(buf) != 12 {
+			t.Fatalf("u32 encoding = %d bytes", len(buf))
+		}
+		out, _, err := DecodeKeys(buf, len(in), U32Codec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				t.Fatal("u32 round trip failed")
+			}
+		}
+	})
+}
+
+func TestIntsRoundTrip(t *testing.T) {
+	in := []int64{math.MinInt64, -7, 0, 42, math.MaxInt64}
+	buf := EncodeInts(nil, in)
+	out, rest, err := DecodeInts(buf, len(in))
+	if err != nil || len(rest) != 0 {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatal("ints round trip failed")
+		}
+	}
+}
+
+func TestDecodeShortBuffers(t *testing.T) {
+	if _, _, err := DecodeEntries[uint64]([]byte{1, 2}, 1, U64Codec{}); err == nil {
+		t.Error("short entry buffer accepted")
+	}
+	if _, _, err := DecodeKeys[uint64]([]byte{1}, 1, U64Codec{}); err == nil {
+		t.Error("short key buffer accepted")
+	}
+	if _, _, err := DecodeInts([]byte{1}, 1); err == nil {
+		t.Error("short int buffer accepted")
+	}
+}
+
+func TestEncodeAppendsToExisting(t *testing.T) {
+	buf := []byte{0xAA}
+	buf = EncodeKeys(buf, []uint64{5}, U64Codec{})
+	if len(buf) != 9 || buf[0] != 0xAA {
+		t.Fatalf("append corrupted prefix: %v", buf)
+	}
+	out, rest, err := DecodeKeys(buf[1:], 1, U64Codec{})
+	if err != nil || out[0] != 5 || len(rest) != 0 {
+		t.Fatalf("decode after append: %v %v %d", out, err, len(rest))
+	}
+}
+
+func TestMixedPayloadSequentialDecode(t *testing.T) {
+	entries := []Entry[uint64]{{Key: 1, Proc: 2, Index: 3}}
+	keys := []uint64{9, 8}
+	ints := []int64{-1}
+	buf := EncodeEntries(nil, entries, U64Codec{})
+	buf = EncodeKeys(buf, keys, U64Codec{})
+	buf = EncodeInts(buf, ints)
+
+	e, rest, err := DecodeEntries(buf, 1, U64Codec{})
+	if err != nil || e[0] != entries[0] {
+		t.Fatal("entries leg failed")
+	}
+	k, rest, err := DecodeKeys(rest, 2, U64Codec{})
+	if err != nil || k[0] != 9 || k[1] != 8 {
+		t.Fatal("keys leg failed")
+	}
+	i, rest, err := DecodeInts(rest, 1)
+	if err != nil || i[0] != -1 || len(rest) != 0 {
+		t.Fatal("ints leg failed")
+	}
+}
+
+func TestPropertyEntriesRoundTrip(t *testing.T) {
+	f := func(keys []uint64, procs []uint32) bool {
+		n := min(len(keys), len(procs))
+		in := make([]Entry[uint64], n)
+		for i := 0; i < n; i++ {
+			in[i] = Entry[uint64]{Key: keys[i], Proc: procs[i], Index: uint32(i)}
+		}
+		buf := EncodeEntries(nil, in, U64Codec{})
+		out, rest, err := DecodeEntries(buf, n, U64Codec{})
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

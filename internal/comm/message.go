@@ -1,0 +1,84 @@
+// Package comm defines the message model, key codecs and traffic counters
+// shared by the transports and the distributed engines. It plays the role
+// of PGX.D's communication manager: a thin, low-overhead layer that moves
+// framed messages between processors and accounts every byte, so the
+// Figure 9 communication-overhead experiments can be measured rather than
+// estimated.
+package comm
+
+import "fmt"
+
+// Kind tags the purpose of a message within the sorting pipeline.
+type Kind uint8
+
+const (
+	// KSamples carries regular samples from a processor to the master
+	// (step 2).
+	KSamples Kind = iota + 1
+	// KSplitters carries the master's p-1 final splitters (step 3).
+	KSplitters
+	// KRangeMeta carries a processor's per-destination send counts
+	// (step 4->5 metadata broadcast).
+	KRangeMeta
+	// KData carries a chunk of sorted entries during the all-to-all
+	// exchange (step 5).
+	KData
+	// KControl carries engine-internal control signals (e.g. barrier
+	// tokens used by the synchronous-exchange ablation).
+	KControl
+)
+
+// String returns a short human-readable tag for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KSamples:
+		return "samples"
+	case KSplitters:
+		return "splitters"
+	case KRangeMeta:
+		return "rangemeta"
+	case KData:
+		return "data"
+	case KControl:
+		return "control"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Entry is one record moving through the distributed sort: a key plus its
+// origin (the processor and local index it started at). The paper's API
+// exposes exactly this provenance: "finding information regards to the
+// previous processors and the previous indexes of the new received data
+// entry" (§IV-C).
+type Entry[K any] struct {
+	Key   K
+	Proc  uint32 // originating processor
+	Index uint32 // index within the originating processor's input
+}
+
+// Message is the unit of communication between processors. A message
+// carries either sorted entries (KSamples, KData), raw keys (KSplitters),
+// or integer metadata (KRangeMeta, KControl).
+//
+// SortID multiplexes several concurrent sorts over one network, which is
+// how the library sorts "multiple different data simultaneously".
+type Message[K any] struct {
+	Src, Dst int
+	Kind     Kind
+	SortID   int32
+	Entries  []Entry[K] // KData payloads
+	Keys     []K        // KSamples / KSplitters payloads
+	Ints     []int64    // KRangeMeta / KControl payloads
+}
+
+// LogicalBytes returns the payload size used for traffic accounting. It is
+// transport-independent: the in-process transport moves slices without
+// serializing, but for Figure 9 both transports must report identical
+// traffic for identical workloads.
+func (m *Message[K]) LogicalBytes(keySize int) int {
+	return len(m.Entries)*(keySize+originBytes) + len(m.Keys)*keySize + len(m.Ints)*8
+}
+
+// originBytes is the wire size of an Entry's provenance (proc + index).
+const originBytes = 8

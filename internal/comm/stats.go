@@ -1,0 +1,78 @@
+package comm
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Stats counts traffic through one endpoint. All methods are safe for
+// concurrent use; the zero value is ready.
+type Stats struct {
+	bytesSent atomic.Int64
+	bytesRecv atomic.Int64
+	msgsSent  atomic.Int64
+	msgsRecv  atomic.Int64
+	// Per-kind byte counters, indexed by Kind (small fixed range).
+	kindBytesSent [KControl + 1]atomic.Int64
+}
+
+// CountSend records an outgoing message of the given kind and size.
+func (s *Stats) CountSend(kind Kind, bytes int) {
+	if s == nil {
+		return
+	}
+	s.bytesSent.Add(int64(bytes))
+	s.msgsSent.Add(1)
+	if int(kind) < len(s.kindBytesSent) {
+		s.kindBytesSent[kind].Add(int64(bytes))
+	}
+}
+
+// CountRecv records an incoming message of the given size.
+func (s *Stats) CountRecv(bytes int) {
+	if s == nil {
+		return
+	}
+	s.bytesRecv.Add(int64(bytes))
+	s.msgsRecv.Add(1)
+}
+
+// BytesSent reports total payload bytes sent.
+func (s *Stats) BytesSent() int64 { return s.bytesSent.Load() }
+
+// BytesRecv reports total payload bytes received.
+func (s *Stats) BytesRecv() int64 { return s.bytesRecv.Load() }
+
+// MsgsSent reports the number of messages sent.
+func (s *Stats) MsgsSent() int64 { return s.msgsSent.Load() }
+
+// MsgsRecv reports the number of messages received.
+func (s *Stats) MsgsRecv() int64 { return s.msgsRecv.Load() }
+
+// KindBytesSent reports payload bytes sent with the given kind tag.
+func (s *Stats) KindBytesSent(kind Kind) int64 {
+	if int(kind) >= len(s.kindBytesSent) {
+		return 0
+	}
+	return s.kindBytesSent[kind].Load()
+}
+
+// Add accumulates other into s (used to total per-node stats).
+func (s *Stats) Add(other *Stats) {
+	if other == nil {
+		return
+	}
+	s.bytesSent.Add(other.bytesSent.Load())
+	s.bytesRecv.Add(other.bytesRecv.Load())
+	s.msgsSent.Add(other.msgsSent.Load())
+	s.msgsRecv.Add(other.msgsRecv.Load())
+	for k := range s.kindBytesSent {
+		s.kindBytesSent[k].Add(other.kindBytesSent[k].Load())
+	}
+}
+
+// String summarizes the counters.
+func (s *Stats) String() string {
+	return fmt.Sprintf("sent %d msgs / %d B, recv %d msgs / %d B",
+		s.MsgsSent(), s.BytesSent(), s.MsgsRecv(), s.BytesRecv())
+}

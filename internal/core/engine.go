@@ -1,0 +1,268 @@
+package core
+
+import (
+	"cmp"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pgxsort/internal/alloc"
+	"pgxsort/internal/comm"
+	"pgxsort/internal/datamgr"
+	"pgxsort/internal/taskmgr"
+	"pgxsort/internal/transport"
+)
+
+// Engine is a simulated PGX.D cluster that sorts datasets distributed
+// across Procs processors. An engine may run many sorts, sequentially or
+// simultaneously; Close releases its workers and network.
+type Engine[K cmp.Ordered] struct {
+	opts       Options
+	codec      comm.Codec[K]
+	net        transport.Network[K]
+	nodes      []*node[K]
+	nextSortID atomic.Int32
+	closeOnce  sync.Once
+	dispatchWG sync.WaitGroup
+}
+
+// node is one simulated processor: an endpoint on the network, a worker
+// pool (task manager), a buffer policy (data manager), a temp-memory
+// tracker and a dispatcher routing inbound messages to per-sort mailboxes.
+type node[K cmp.Ordered] struct {
+	id      int
+	eng     *Engine[K]
+	ep      transport.Endpoint[K]
+	pool    *taskmgr.Pool
+	dm      *datamgr.Manager
+	tracker alloc.Tracker
+
+	mbMu   sync.Mutex
+	mbs    map[mbKey]*mailbox[comm.Message[K]]
+	closed bool // network gone; new mailboxes are born closed
+}
+
+type mbKey struct {
+	sortID int32
+	kind   comm.Kind
+}
+
+// NewEngine builds an engine with the given options; codec serializes keys
+// on the TCP transport and sizes them for traffic accounting everywhere.
+func NewEngine[K cmp.Ordered](opts Options, codec comm.Codec[K]) (*Engine[K], error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	net, err := transport.New(opts.Transport, opts.Procs, codec)
+	if err != nil {
+		return nil, err
+	}
+	if opts.JitterMaxDelay > 0 {
+		net = transport.WithJitter(net, opts.JitterMaxDelay, opts.JitterSeed)
+	}
+	e := &Engine[K]{opts: opts, codec: codec, net: net}
+	e.nodes = make([]*node[K], opts.Procs)
+	for i := range e.nodes {
+		n := &node[K]{
+			id:   i,
+			eng:  e,
+			ep:   net.Endpoint(i),
+			pool: taskmgr.NewPool(opts.WorkersPerProc),
+			mbs:  make(map[mbKey]*mailbox[comm.Message[K]]),
+		}
+		n.dm = &datamgr.Manager{BufferBytes: opts.BufferBytes, Tracker: &n.tracker}
+		e.nodes[i] = n
+		e.dispatchWG.Add(1)
+		go n.dispatch()
+	}
+	return e, nil
+}
+
+// Options returns the resolved engine configuration.
+func (e *Engine[K]) Options() Options { return e.opts }
+
+// Close shuts the cluster down. In-flight sorts fail; Close is idempotent.
+func (e *Engine[K]) Close() {
+	e.closeOnce.Do(func() {
+		e.net.Close()
+		e.dispatchWG.Wait()
+		for _, n := range e.nodes {
+			n.pool.Close()
+		}
+	})
+}
+
+// dispatch routes inbound messages into (sortID, kind) mailboxes until the
+// network closes, then closes every mailbox so blocked steps unblock.
+func (n *node[K]) dispatch() {
+	defer n.eng.dispatchWG.Done()
+	for {
+		m, ok := n.ep.Recv()
+		if !ok {
+			n.mbMu.Lock()
+			for _, mb := range n.mbs {
+				mb.close()
+			}
+			n.closed = true
+			n.mbMu.Unlock()
+			return
+		}
+		n.mb(m.SortID, m.Kind).push(m)
+	}
+}
+
+// mb returns (creating if needed) the mailbox for one sort and kind.
+func (n *node[K]) mb(sortID int32, kind comm.Kind) *mailbox[comm.Message[K]] {
+	key := mbKey{sortID, kind}
+	n.mbMu.Lock()
+	defer n.mbMu.Unlock()
+	mb, ok := n.mbs[key]
+	if !ok {
+		mb = newMailbox[comm.Message[K]]()
+		if n.closed {
+			mb.close()
+		}
+		n.mbs[key] = mb
+	}
+	return mb
+}
+
+// dropSort releases the mailboxes of a finished sort.
+func (n *node[K]) dropSort(sortID int32) {
+	n.mbMu.Lock()
+	defer n.mbMu.Unlock()
+	for key := range n.mbs {
+		if key.sortID == sortID {
+			delete(n.mbs, key)
+		}
+	}
+}
+
+// Sort sorts a dataset that is already distributed: parts[i] is processor
+// i's local input. len(parts) must equal Procs. The input slices are not
+// modified.
+func (e *Engine[K]) Sort(parts [][]K) (*Result[K], error) {
+	if len(parts) != e.opts.Procs {
+		return nil, fmt.Errorf("core: got %d parts for %d processors", len(parts), e.opts.Procs)
+	}
+	for _, part := range parts {
+		if len(part) > 1<<31-1 {
+			return nil, fmt.Errorf("core: local part of %d entries exceeds the 2^31-1 origin-index limit", len(part))
+		}
+	}
+	return e.sortOne(parts)
+}
+
+// SortSlice block-distributes one slice across the processors and sorts it.
+func (e *Engine[K]) SortSlice(data []K) (*Result[K], error) {
+	p := e.opts.Procs
+	parts := make([][]K, p)
+	for i := 0; i < p; i++ {
+		lo := i * len(data) / p
+		hi := (i + 1) * len(data) / p
+		parts[i] = data[lo:hi]
+	}
+	return e.Sort(parts)
+}
+
+// SortMany runs several sorts simultaneously over the same engine,
+// multiplexed by sort id — the paper's "sort multiple different data
+// simultaneously". Results are returned in input order; the first error
+// (if any) is reported after all sorts finish.
+func (e *Engine[K]) SortMany(datasets ...[][]K) ([]*Result[K], error) {
+	results := make([]*Result[K], len(datasets))
+	errs := make([]error, len(datasets))
+	var wg sync.WaitGroup
+	for i, ds := range datasets {
+		wg.Add(1)
+		go func(i int, ds [][]K) {
+			defer wg.Done()
+			results[i], errs[i] = e.Sort(ds)
+		}(i, ds)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// sortOne runs the six-step pipeline on every node for one dataset.
+func (e *Engine[K]) sortOne(parts [][]K) (*Result[K], error) {
+	sortID := e.nextSortID.Add(1)
+	p := e.opts.Procs
+
+	type nodeOut struct {
+		entries []comm.Entry[K]
+		report  NodeReport
+		err     error
+	}
+	outs := make([]nodeOut, p)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := &sortRun[K]{
+				node:   e.nodes[i],
+				sortID: sortID,
+				opts:   e.opts,
+				codec:  e.codec,
+				input:  parts[i],
+			}
+			outs[i].entries, outs[i].err = s.run()
+			outs[i].report = s.report
+		}(i)
+	}
+	wg.Wait()
+	total := time.Since(start)
+	for i := 0; i < p; i++ {
+		e.nodes[i].dropSort(sortID)
+	}
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, fmt.Errorf("core: node %d: %w", i, o.err)
+		}
+	}
+
+	rep := Report{
+		Procs:   p,
+		Workers: e.opts.WorkersPerProc,
+		Total:   total,
+		PerNode: make([]NodeReport, p),
+	}
+	for i, o := range outs {
+		nr := o.report
+		rep.PerNode[i] = nr
+		rep.N += len(parts[i])
+		for s := Step(0); s < NumSteps; s++ {
+			if nr.Steps[s] > rep.Steps[s] {
+				rep.Steps[s] = nr.Steps[s]
+			}
+		}
+		rep.BytesSent += nr.BytesSent
+		rep.MsgsSent += nr.MsgsSent
+		rep.SampleBytes += nr.SampleBytes
+		rep.MetaBytes += nr.MetaBytes
+		rep.DataBytes += nr.DataBytes
+		if nr.TempPeakBytes > rep.TempPeakBytes {
+			rep.TempPeakBytes = nr.TempPeakBytes
+		}
+		rep.ResidentBytes += nr.ResidentBytes
+		if nr.SamplesSent > rep.SamplesPerProc {
+			rep.SamplesPerProc = nr.SamplesSent
+		}
+	}
+	rep.CommTime = rep.Steps[StepSampling] + rep.Steps[StepSplitters] + rep.Steps[StepExchange]
+
+	parts2 := make([][]comm.Entry[K], p)
+	for i, o := range outs {
+		parts2[i] = o.entries
+	}
+	return &Result[K]{Parts: parts2, Report: rep}, nil
+}

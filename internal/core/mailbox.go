@@ -1,0 +1,71 @@
+package core
+
+import "sync"
+
+// mailbox is an unbounded FIFO queue connecting the per-node dispatcher to
+// the pipeline steps. Unboundedness is deliberate: PGX.D "delays
+// unnecessary computations until the end of the current step", i.e. a
+// processor may receive messages for a later step (or another concurrent
+// sort) while still working on an earlier one, and those messages must not
+// block the network. Backpressure still exists end-to-end through the
+// transport inboxes.
+type mailbox[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []T
+	head   int
+	closed bool
+}
+
+func newMailbox[T any]() *mailbox[T] {
+	m := &mailbox[T]{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// push appends an item; it never blocks.
+func (m *mailbox[T]) push(item T) {
+	m.mu.Lock()
+	m.items = append(m.items, item)
+	m.mu.Unlock()
+	m.cond.Signal()
+}
+
+// pop removes the oldest item, blocking until one is available or the
+// mailbox is closed. ok is false only when closed and drained.
+func (m *mailbox[T]) pop() (item T, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.head >= len(m.items) && !m.closed {
+		m.cond.Wait()
+	}
+	if m.head >= len(m.items) {
+		var zero T
+		return zero, false
+	}
+	item = m.items[m.head]
+	// Release the reference so the GC can reclaim consumed payloads.
+	var zero T
+	m.items[m.head] = zero
+	m.head++
+	if m.head == len(m.items) {
+		m.items = m.items[:0]
+		m.head = 0
+	}
+	return item, true
+}
+
+// close unblocks all pending and future pops.
+func (m *mailbox[T]) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// len reports the number of queued items.
+func (m *mailbox[T]) len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.items) - m.head
+}

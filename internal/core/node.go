@@ -1,0 +1,296 @@
+package core
+
+import (
+	"cmp"
+	"fmt"
+	"sync"
+	"time"
+	"unsafe"
+
+	"pgxsort/internal/comm"
+	"pgxsort/internal/datamgr"
+	"pgxsort/internal/lsort"
+	"pgxsort/internal/sample"
+)
+
+// sortRun is the per-node state of one sort: the node it runs on, the
+// sort id multiplexing its traffic, and its measurements.
+type sortRun[K cmp.Ordered] struct {
+	node   *node[K]
+	sortID int32
+	opts   Options
+	codec  comm.Codec[K]
+	input  []K
+	report NodeReport
+	statMu sync.Mutex // guards the report's traffic counters: sends to
+	// different destinations run concurrently on the worker pool
+}
+
+func entryLess[K cmp.Ordered](a, b comm.Entry[K]) bool { return a.Key < b.Key }
+
+// entryBytes is the in-memory size of one entry, used for the resident /
+// temporary memory accounting of Figure 11.
+func entryBytes[K cmp.Ordered]() int {
+	var e comm.Entry[K]
+	return int(unsafe.Sizeof(e))
+}
+
+// send stamps the sort id, forwards to the transport and accounts the
+// traffic against this sort.
+func (s *sortRun[K]) send(dst int, m comm.Message[K]) error {
+	m.SortID = s.sortID
+	if err := s.node.ep.Send(dst, m); err != nil {
+		return err
+	}
+	bytes := int64(m.LogicalBytes(s.codec.KeySize()))
+	s.statMu.Lock()
+	s.report.BytesSent += bytes
+	s.report.MsgsSent++
+	switch m.Kind {
+	case comm.KSamples, comm.KSplitters:
+		s.report.SampleBytes += bytes
+	case comm.KRangeMeta, comm.KControl:
+		s.report.MetaBytes += bytes
+	case comm.KData:
+		s.report.DataBytes += bytes
+	}
+	s.statMu.Unlock()
+	return nil
+}
+
+// recv pops the next message of the given kind for this sort.
+func (s *sortRun[K]) recv(kind comm.Kind) (comm.Message[K], error) {
+	m, ok := s.node.mb(s.sortID, kind).pop()
+	if !ok {
+		return m, fmt.Errorf("network closed while waiting for %v", kind)
+	}
+	return m, nil
+}
+
+// run executes the six-step pipeline and returns this node's sorted part.
+func (s *sortRun[K]) run() ([]comm.Entry[K], error) {
+	n := s.node
+	p := s.opts.Procs
+	self := n.id
+	master := s.opts.Master
+	eb := entryBytes[K]()
+
+	// ---- Step 1: parallel local sort (quicksort + balanced merge) ----
+	t0 := time.Now()
+	entries := make([]comm.Entry[K], len(s.input))
+	for i, k := range s.input {
+		entries[i] = comm.Entry[K]{Key: k, Proc: uint32(self), Index: uint32(i)}
+	}
+	s.report.ResidentBytes = int64(len(entries)) * int64(eb)
+	lsort.ParallelSort(entries, entryLess[K], s.opts.WorkersPerProc, &n.tracker)
+	s.report.Steps[StepLocalSort] = time.Since(t0)
+
+	// ---- Step 2: regular sampling, one buffer of samples to master ----
+	t0 = time.Now()
+	nsamples := sample.Count(s.opts.BufferBytes, p, s.codec.KeySize(), s.opts.SampleFactor, len(entries))
+	sampled := sample.Regular(entries, nsamples)
+	keys := make([]K, len(sampled))
+	for i, e := range sampled {
+		keys[i] = e.Key
+	}
+	s.report.SamplesSent = len(keys)
+	if p > 1 && self != master {
+		if err := s.send(master, comm.Message[K]{Kind: comm.KSamples, Keys: keys}); err != nil {
+			return nil, err
+		}
+	}
+	s.report.Steps[StepSampling] = time.Since(t0)
+
+	// ---- Step 3: master selects splitters and broadcasts them ----
+	t0 = time.Now()
+	var splitters []K
+	if p > 1 {
+		if self == master {
+			runs := make([][]K, 0, p)
+			runs = append(runs, keys) // master's own samples stay local
+			for i := 0; i < p-1; i++ {
+				m, err := s.recv(comm.KSamples)
+				if err != nil {
+					return nil, err
+				}
+				runs = append(runs, m.Keys)
+			}
+			splitters = sample.SelectSplitters(runs, p, func(a, b K) bool { return a < b })
+			for dst := 0; dst < p; dst++ {
+				if dst == master {
+					continue
+				}
+				if err := s.send(dst, comm.Message[K]{Kind: comm.KSplitters, Keys: splitters}); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			m, err := s.recv(comm.KSplitters)
+			if err != nil {
+				return nil, err
+			}
+			splitters = m.Keys
+		}
+		if len(splitters) == 0 {
+			// Every processor was empty, so no samples exist anywhere.
+			// Any splitters partition nothing correctly; use zero keys.
+			splitters = make([]K, p-1)
+		}
+	}
+	s.report.Steps[StepSplitters] = time.Since(t0)
+
+	// ---- Step 4: binary-search range partitioning + metadata bcast ----
+	t0 = time.Now()
+	ranges := sample.Partition(entries, splitters,
+		func(a, b K) bool { return a < b },
+		func(e comm.Entry[K], sp K) bool { return e.Key > sp },
+		!s.opts.DisableInvestigator)
+	counts := ranges.Counts()
+	meta := make([]int64, p)
+	for i, c := range counts {
+		meta[i] = int64(c)
+	}
+	// Broadcast the counts so every receiver can precompute offsets.
+	for dst := 0; dst < p; dst++ {
+		if dst == self {
+			continue
+		}
+		if err := s.send(dst, comm.Message[K]{Kind: comm.KRangeMeta, Ints: meta}); err != nil {
+			return nil, err
+		}
+	}
+	// Collect everyone's counts; perSrc[i] is what source i sends me.
+	perSrc := make([]int, p)
+	perSrc[self] = counts[self]
+	for i := 0; i < p-1; i++ {
+		m, err := s.recv(comm.KRangeMeta)
+		if err != nil {
+			return nil, err
+		}
+		if len(m.Ints) != p {
+			return nil, fmt.Errorf("range metadata from %d has %d counts, want %d", m.Src, len(m.Ints), p)
+		}
+		perSrc[m.Src] = int(m.Ints[self])
+	}
+	s.report.Steps[StepPartition] = time.Since(t0)
+
+	// ---- Step 5: simultaneous send and receive at precomputed offsets ----
+	t0 = time.Now()
+	asm := datamgr.NewAssembly[K](n.dm, perSrc, eb)
+	// The local range never touches the network.
+	lo, hi := ranges.Range(self)
+	if err := asm.Write(self, entries[lo:hi]); err != nil {
+		return nil, err
+	}
+	expectRemote := 0
+	for src, c := range perSrc {
+		if src != self {
+			expectRemote += c
+		}
+	}
+
+	sendAll := func() error {
+		// One send task per destination on the worker pool: the task
+		// manager schedules chunked request buffers per peer.
+		errs := make([]error, p)
+		tasks := make([]func(), 0, p-1)
+		for dst := 0; dst < p; dst++ {
+			if dst == self {
+				continue
+			}
+			dst := dst
+			dlo, dhi := ranges.Range(dst)
+			tasks = append(tasks, func() {
+				errs[dst] = datamgr.Chunks(n.dm, entries[dlo:dhi], s.codec.KeySize(),
+					func(chunk []comm.Entry[K]) error {
+						return s.send(dst, comm.Message[K]{Kind: comm.KData, Entries: chunk})
+					})
+			})
+		}
+		n.pool.RunAll(tasks...)
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	recvAll := func() error {
+		got := 0
+		for got < expectRemote {
+			m, err := s.recv(comm.KData)
+			if err != nil {
+				return err
+			}
+			if err := asm.Write(m.Src, m.Entries); err != nil {
+				return err
+			}
+			got += len(m.Entries)
+		}
+		return nil
+	}
+
+	if s.opts.SyncExchange {
+		// Bulk-synchronous ablation: finish all sends, exchange barrier
+		// tokens, then drain the receive queue.
+		if err := sendAll(); err != nil {
+			return nil, err
+		}
+		for dst := 0; dst < p; dst++ {
+			if dst == self {
+				continue
+			}
+			if err := s.send(dst, comm.Message[K]{Kind: comm.KControl, Ints: []int64{1}}); err != nil {
+				return nil, err
+			}
+		}
+		for i := 0; i < p-1; i++ {
+			if _, err := s.recv(comm.KControl); err != nil {
+				return nil, err
+			}
+		}
+		if err := recvAll(); err != nil {
+			return nil, err
+		}
+	} else {
+		// Paper behaviour: send while receiving, no barrier in between.
+		sendErr := make(chan error, 1)
+		go func() { sendErr <- sendAll() }()
+		if err := recvAll(); err != nil {
+			<-sendErr
+			return nil, err
+		}
+		if err := <-sendErr; err != nil {
+			return nil, err
+		}
+	}
+	s.report.Steps[StepExchange] = time.Since(t0)
+
+	// ---- Step 6: merge the received sorted runs ----
+	t0 = time.Now()
+	var merged []comm.Entry[K]
+	buf := asm.Entries()
+	switch s.opts.Merge {
+	case MergeKWay:
+		bounds := asm.Bounds()
+		runs := make([][]comm.Entry[K], 0, p)
+		for i := 0; i+1 < len(bounds); i++ {
+			runs = append(runs, buf[bounds[i]:bounds[i+1]])
+		}
+		n.tracker.Alloc(int64(len(buf)) * int64(eb))
+		merged = lsort.KWayMerge(runs, entryLess[K])
+		n.tracker.Free(int64(len(buf)) * int64(eb))
+	default:
+		scratch := make([]comm.Entry[K], len(buf))
+		n.tracker.Alloc(int64(len(buf)) * int64(eb))
+		merged = lsort.MergeAdjacentRuns(buf, scratch, asm.Bounds(), entryLess[K], true)
+		n.tracker.Free(int64(len(buf)) * int64(eb))
+	}
+	asm.Release()
+	s.report.Steps[StepFinalMerge] = time.Since(t0)
+
+	s.report.PartSize = len(merged)
+	s.report.ResidentBytes += int64(len(merged)) * int64(eb)
+	s.report.TempPeakBytes = n.tracker.Peak()
+	return merged, nil
+}

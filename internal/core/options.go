@@ -1,0 +1,119 @@
+// Package core implements the paper's primary contribution: the PGX.D
+// distributed sample sort (§IV). An Engine simulates p processors, each
+// with its own worker pool (task manager), buffer policy (data manager)
+// and network endpoint (communication manager), and runs the six-step
+// pipeline:
+//
+//  1. parallel local quicksort with the balanced merging handler (Fig 2)
+//  2. regular sampling, one 256KB/p buffer of samples to the master
+//  3. master selects p-1 splitters and broadcasts them
+//  4. binary-search range partitioning with the investigator (Fig 3)
+//  5. asynchronous all-to-all exchange with precomputed write offsets
+//  6. parallel balanced merge of the received runs
+//
+// Every entry keeps its provenance (origin processor and index), the
+// result supports binary search and top-k retrieval, and several datasets
+// can be sorted simultaneously over one engine — the API surface the
+// paper describes in §III-IV.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"pgxsort/internal/sample"
+	"pgxsort/internal/transport"
+)
+
+// MergeStrategy selects how step 6 combines the received sorted runs.
+type MergeStrategy int
+
+const (
+	// MergeBalanced is the paper's balanced pairwise handler (Figure 2),
+	// parallelized across each round. The default.
+	MergeBalanced MergeStrategy = iota
+	// MergeKWay is the loser-tree k-way merge ablation: fewer element
+	// moves, but strictly sequential.
+	MergeKWay
+)
+
+func (m MergeStrategy) String() string {
+	switch m {
+	case MergeBalanced:
+		return "balanced"
+	case MergeKWay:
+		return "kway"
+	default:
+		return fmt.Sprintf("MergeStrategy(%d)", int(m))
+	}
+}
+
+// Options configures an Engine. The zero value (after applying defaults)
+// reproduces the paper's configuration; the Disable*/Sync* knobs exist for
+// the ablation experiments.
+type Options struct {
+	// Procs is the number of simulated processors p. Default 4.
+	Procs int
+	// WorkersPerProc is the number of worker threads per processor
+	// (the paper uses 32 on real machines). Default 2.
+	WorkersPerProc int
+	// BufferBytes is the read/request buffer size that drives both the
+	// sample count and data chunking. Default 256KB (the paper's value).
+	BufferBytes int
+	// SampleFactor scales the paper's sample count X = BufferBytes/p.
+	// Default 1.0; Figure 9 sweeps 0.004 .. 1.4.
+	SampleFactor float64
+	// DisableInvestigator turns off the duplicated-splitter investigator
+	// (Figure 3c), reverting to the naive binary search of Figure 3b.
+	DisableInvestigator bool
+	// Merge selects the step-6 strategy. Default MergeBalanced.
+	Merge MergeStrategy
+	// SyncExchange replaces the asynchronous overlap of step 5 with a
+	// bulk-synchronous send-barrier-receive schedule (ablation).
+	SyncExchange bool
+	// Transport selects the network: transport.KindChan (default) or
+	// transport.KindTCP.
+	Transport string
+	// Master is the processor that selects splitters. Default 0.
+	Master int
+	// JitterMaxDelay injects a pseudo-random delay in [0, JitterMaxDelay)
+	// before every send (failure injection for timing assumptions; used
+	// by chaos tests, zero in production).
+	JitterMaxDelay time.Duration
+	// JitterSeed seeds the injected delays.
+	JitterSeed uint64
+}
+
+// withDefaults returns a copy of o with defaults filled in.
+func (o Options) withDefaults() Options {
+	if o.Procs <= 0 {
+		o.Procs = 4
+	}
+	if o.WorkersPerProc <= 0 {
+		o.WorkersPerProc = 2
+	}
+	if o.BufferBytes <= 0 {
+		o.BufferBytes = sample.DefaultBufferBytes
+	}
+	if o.SampleFactor <= 0 {
+		o.SampleFactor = 1.0
+	}
+	if o.Transport == "" {
+		o.Transport = transport.KindChan
+	}
+	return o
+}
+
+// validate reports configuration errors not fixable by defaulting.
+func (o Options) validate() error {
+	if o.Master < 0 || o.Master >= o.Procs {
+		return fmt.Errorf("core: master %d out of range [0,%d)", o.Master, o.Procs)
+	}
+	if o.Merge != MergeBalanced && o.Merge != MergeKWay {
+		return fmt.Errorf("core: unknown merge strategy %d", o.Merge)
+	}
+	if o.Transport != transport.KindChan && o.Transport != transport.KindTCP {
+		return fmt.Errorf("core: unknown transport %q", o.Transport)
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Step identifies one of the six pipeline steps for per-step timing
+// (Figure 7).
+type Step int
+
+const (
+	// StepLocalSort is step 1: parallel local quicksort + balanced merge.
+	StepLocalSort Step = iota
+	// StepSampling is step 2: regular sampling and sending to the master.
+	StepSampling
+	// StepSplitters is step 3: master-side splitter selection and
+	// broadcast (non-masters: waiting for the broadcast).
+	StepSplitters
+	// StepPartition is step 4: binary-search range determination plus the
+	// range-metadata broadcast.
+	StepPartition
+	// StepExchange is step 5: the simultaneous send/receive of data.
+	StepExchange
+	// StepFinalMerge is step 6: merging received runs.
+	StepFinalMerge
+
+	// NumSteps is the number of pipeline steps.
+	NumSteps = 6
+)
+
+// String returns the step label used in figures.
+func (s Step) String() string {
+	switch s {
+	case StepLocalSort:
+		return "local-sort"
+	case StepSampling:
+		return "sampling"
+	case StepSplitters:
+		return "splitters"
+	case StepPartition:
+		return "partition"
+	case StepExchange:
+		return "send/recv"
+	case StepFinalMerge:
+		return "final-merge"
+	default:
+		return fmt.Sprintf("Step(%d)", int(s))
+	}
+}
+
+// NodeReport holds one processor's measurements for one sort.
+type NodeReport struct {
+	// Steps holds the wall time this node spent in each pipeline step.
+	Steps [NumSteps]time.Duration
+	// PartSize is the number of entries this node holds after the sort.
+	PartSize int
+	// SamplesSent is the number of samples this node sent to the master.
+	SamplesSent int
+	// BytesSent / MsgsSent count this sort's outgoing traffic from this
+	// node (logical payload bytes).
+	BytesSent int64
+	MsgsSent  int64
+	// SampleBytes / MetaBytes / DataBytes split BytesSent by message kind.
+	SampleBytes int64
+	MetaBytes   int64
+	DataBytes   int64
+	// TempPeakBytes is the high-water mark of temporary allocations
+	// (merge scratch, assembly staging) on this node during the sort.
+	TempPeakBytes int64
+	// ResidentBytes is the entry storage this node holds (input entries +
+	// result), the analogue of RSS in Figure 11.
+	ResidentBytes int64
+}
+
+// Report aggregates a distributed sort run, providing every measurement
+// the paper's figures need.
+type Report struct {
+	Procs   int
+	Workers int
+	N       int
+	// Steps is the per-step critical path: max across nodes (Figure 7).
+	Steps [NumSteps]time.Duration
+	// Total is the wall time of the whole sort (Figures 5, 6, 8, 9).
+	Total time.Duration
+	// PerNode holds each processor's measurements (Table II, Figure 10).
+	PerNode []NodeReport
+	// BytesSent etc. total the per-node traffic (Figure 9).
+	BytesSent   int64
+	MsgsSent    int64
+	SampleBytes int64
+	MetaBytes   int64
+	DataBytes   int64
+	// CommTime is the critical-path duration of the exchange step plus
+	// sampling/broadcast waits — the paper's "communication overhead".
+	CommTime time.Duration
+	// TempPeakBytes is the max per-node temporary-memory peak; Resident
+	// totals per-node entry storage (Figure 11).
+	TempPeakBytes int64
+	ResidentBytes int64
+	// SamplesPerProc is the per-processor sample count used (Figure 9/10).
+	SamplesPerProc int
+}
+
+// PartSizes returns the per-processor result sizes (Table II).
+func (r *Report) PartSizes() []int {
+	out := make([]int, len(r.PerNode))
+	for i, n := range r.PerNode {
+		out[i] = n.PartSize
+	}
+	return out
+}
+
+// LoadImbalance returns max/avg part size, 1.0 meaning perfectly balanced.
+func (r *Report) LoadImbalance() float64 {
+	if len(r.PerNode) == 0 || r.N == 0 {
+		return 1
+	}
+	maxPart := 0
+	for _, n := range r.PerNode {
+		if n.PartSize > maxPart {
+			maxPart = n.PartSize
+		}
+	}
+	avg := float64(r.N) / float64(len(r.PerNode))
+	if avg == 0 {
+		return 1
+	}
+	return float64(maxPart) / avg
+}
+
+// MinMaxPart returns the smallest and largest per-processor result sizes
+// (Figure 10).
+func (r *Report) MinMaxPart() (minSize, maxSize int) {
+	if len(r.PerNode) == 0 {
+		return 0, 0
+	}
+	minSize, maxSize = r.PerNode[0].PartSize, r.PerNode[0].PartSize
+	for _, n := range r.PerNode[1:] {
+		if n.PartSize < minSize {
+			minSize = n.PartSize
+		}
+		if n.PartSize > maxSize {
+			maxSize = n.PartSize
+		}
+	}
+	return minSize, maxSize
+}
+
+// String renders a compact human-readable summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sorted %d entries on %d procs x %d workers in %v\n",
+		r.N, r.Procs, r.Workers, r.Total)
+	for s := Step(0); s < NumSteps; s++ {
+		fmt.Fprintf(&b, "  %-12s %v\n", s.String(), r.Steps[s])
+	}
+	fmt.Fprintf(&b, "  comm: %d msgs, %d bytes (samples %d, meta %d, data %d)\n",
+		r.MsgsSent, r.BytesSent, r.SampleBytes, r.MetaBytes, r.DataBytes)
+	fmt.Fprintf(&b, "  memory: %d resident, %d temp peak\n", r.ResidentBytes, r.TempPeakBytes)
+	fmt.Fprintf(&b, "  balance: %.3f (max/avg), parts %v\n", r.LoadImbalance(), r.PartSizes())
+	return b.String()
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"cmp"
+	"fmt"
+
+	"pgxsort/internal/comm"
+	"pgxsort/internal/lsort"
+)
+
+// Result is a globally sorted, distributed dataset: Parts[i] is processor
+// i's sorted slice, and max(Parts[i]) <= min(Parts[i+1]) — "smaller data
+// entries are gathered in the processor with the smaller ID" (§IV-C).
+// Every entry carries its origin, and the result offers the paper's
+// user-facing API: binary search, top-k retrieval and origin lookup.
+type Result[K cmp.Ordered] struct {
+	Parts  [][]comm.Entry[K]
+	Report Report
+}
+
+// Len returns the total number of entries.
+func (r *Result[K]) Len() int {
+	n := 0
+	for _, p := range r.Parts {
+		n += len(p)
+	}
+	return n
+}
+
+// Keys flattens the sorted keys into one slice (intended for small results
+// and tests; it allocates Len() keys).
+func (r *Result[K]) Keys() []K {
+	out := make([]K, 0, r.Len())
+	for _, p := range r.Parts {
+		for _, e := range p {
+			out = append(out, e.Key)
+		}
+	}
+	return out
+}
+
+// At returns the entry at global index i.
+func (r *Result[K]) At(i int) (comm.Entry[K], error) {
+	if i < 0 {
+		return comm.Entry[K]{}, fmt.Errorf("core: index %d out of range", i)
+	}
+	for _, p := range r.Parts {
+		if i < len(p) {
+			return p[i], nil
+		}
+		i -= len(p)
+	}
+	return comm.Entry[K]{}, fmt.Errorf("core: index out of range")
+}
+
+// Search performs the distributed binary search the paper's API exposes:
+// it locates the first occurrence of key, returning the owning processor,
+// the local index, and the global rank. found is false when key is absent
+// (proc/local/global then describe the insertion point).
+func (r *Result[K]) Search(key K) (proc, local, global int, found bool) {
+	base := 0
+	for pi, part := range r.Parts {
+		if len(part) == 0 {
+			continue
+		}
+		if part[len(part)-1].Key < key {
+			base += len(part)
+			continue
+		}
+		idx := lsort.LowerBound(part, key, func(e comm.Entry[K], k K) bool { return e.Key < k })
+		if idx < len(part) && part[idx].Key == key {
+			return pi, idx, base + idx, true
+		}
+		return pi, idx, base + idx, false
+	}
+	return len(r.Parts), 0, base, false
+}
+
+// Count returns how many entries equal key.
+func (r *Result[K]) Count(key K) int {
+	total := 0
+	for _, part := range r.Parts {
+		lo := lsort.LowerBound(part, key, func(e comm.Entry[K], k K) bool { return e.Key < k })
+		hi := lsort.UpperBound(part, key, func(e comm.Entry[K], k K) bool { return e.Key > k })
+		total += hi - lo
+	}
+	return total
+}
+
+// Top returns the k largest entries in descending order ("retrieving top
+// values from their graph data", §III).
+func (r *Result[K]) Top(k int) []comm.Entry[K] {
+	if k < 0 {
+		k = 0
+	}
+	out := make([]comm.Entry[K], 0, k)
+	for pi := len(r.Parts) - 1; pi >= 0 && len(out) < k; pi-- {
+		part := r.Parts[pi]
+		for i := len(part) - 1; i >= 0 && len(out) < k; i-- {
+			out = append(out, part[i])
+		}
+	}
+	return out
+}
+
+// Bottom returns the k smallest entries in ascending order.
+func (r *Result[K]) Bottom(k int) []comm.Entry[K] {
+	if k < 0 {
+		k = 0
+	}
+	out := make([]comm.Entry[K], 0, k)
+	for _, part := range r.Parts {
+		for _, e := range part {
+			if len(out) >= k {
+				return out
+			}
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Quantiles returns m+1 keys summarizing the sorted distribution: the
+// minimum, the m-1 internal quantile boundaries, and the maximum. It uses
+// the distributed result in place (no flattening).
+func (r *Result[K]) Quantiles(m int) ([]K, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("core: quantile count must be >= 1")
+	}
+	n := r.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty result has no quantiles")
+	}
+	out := make([]K, m+1)
+	for q := 0; q <= m; q++ {
+		idx := q * (n - 1) / m
+		e, err := r.At(idx)
+		if err != nil {
+			return nil, err
+		}
+		out[q] = e.Key
+	}
+	return out, nil
+}
+
+// PartRange describes one processor's key range after sorting (Table III).
+type PartRange[K cmp.Ordered] struct {
+	Proc  int
+	Count int
+	Min   K
+	Max   K
+}
+
+// PartRanges reports each non-empty processor's [min, max] key range.
+func (r *Result[K]) PartRanges() []PartRange[K] {
+	out := make([]PartRange[K], 0, len(r.Parts))
+	for pi, part := range r.Parts {
+		pr := PartRange[K]{Proc: pi, Count: len(part)}
+		if len(part) > 0 {
+			pr.Min = part[0].Key
+			pr.Max = part[len(part)-1].Key
+		}
+		out = append(out, pr)
+	}
+	return out
+}
+
+// Verify checks the full contract of the distributed sort against the
+// original inputs: every part is sorted, parts are globally ordered,
+// and the origin fields describe a perfect permutation of the input
+// (every (proc,index) appears exactly once and carries its input key).
+func (r *Result[K]) Verify(inputs [][]K) error {
+	if len(inputs) != len(r.Parts) && len(inputs) != 0 {
+		// A different processor count is fine as long as provenance holds;
+		// only the origin bounds check below needs inputs indexed by proc.
+	}
+	total := 0
+	for _, in := range inputs {
+		total += len(in)
+	}
+	if got := r.Len(); got != total {
+		return fmt.Errorf("core: result has %d entries, input had %d", got, total)
+	}
+	seen := make([]bool, total)
+	// offsets into the seen bitmap per origin proc
+	offsets := make([]int, len(inputs)+1)
+	for i, in := range inputs {
+		offsets[i+1] = offsets[i] + len(in)
+	}
+	var prev K
+	havePrev := false
+	for pi, part := range r.Parts {
+		for i, e := range part {
+			if i > 0 && part[i-1].Key > e.Key {
+				return fmt.Errorf("core: part %d not sorted at %d", pi, i)
+			}
+			if havePrev && prev > e.Key {
+				return fmt.Errorf("core: global order violated entering part %d", pi)
+			}
+			op := int(e.Proc)
+			oi := int(e.Index)
+			if op >= len(inputs) || oi >= len(inputs[op]) {
+				return fmt.Errorf("core: entry in part %d has origin (%d,%d) out of range", pi, op, oi)
+			}
+			if inputs[op][oi] != e.Key {
+				return fmt.Errorf("core: entry key %v does not match input[%d][%d]=%v",
+					e.Key, op, oi, inputs[op][oi])
+			}
+			flat := offsets[op] + oi
+			if seen[flat] {
+				return fmt.Errorf("core: origin (%d,%d) appears twice", op, oi)
+			}
+			seen[flat] = true
+		}
+		if len(part) > 0 {
+			prev = part[len(part)-1].Key
+			havePrev = true
+		}
+	}
+	return nil
+}

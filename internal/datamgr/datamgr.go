@@ -1,0 +1,174 @@
+// Package datamgr is the analogue of PGX.D's data manager (§III): it owns
+// the buffer-size policy that drives message chunking (the 256KB
+// read/request buffer at the heart of the paper's sampling rule), and the
+// receive-side assembly buffers that let a processor accept data chunks
+// from every peer simultaneously by writing them at precomputed offsets
+// (§IV-C).
+package datamgr
+
+import (
+	"fmt"
+	"sync"
+
+	"pgxsort/internal/alloc"
+	"pgxsort/internal/comm"
+)
+
+// Manager holds one processor's buffer policy and memory tracker.
+type Manager struct {
+	// BufferBytes is the request/read buffer size; messages carrying more
+	// than this many payload bytes are split. Defaults to
+	// sample.DefaultBufferBytes (256KB) when zero.
+	BufferBytes int
+	// Tracker accounts temporary allocations (may be nil).
+	Tracker *alloc.Tracker
+}
+
+// DefaultBufferBytes mirrors sample.DefaultBufferBytes without importing it.
+const DefaultBufferBytes = 256 * 1024
+
+func (m *Manager) bufferBytes() int {
+	if m == nil || m.BufferBytes <= 0 {
+		return DefaultBufferBytes
+	}
+	return m.BufferBytes
+}
+
+// ChunkLen returns how many entries of entryBytes each fit in one request
+// buffer (at least 1).
+func (m *Manager) ChunkLen(entryBytes int) int {
+	if entryBytes < 1 {
+		entryBytes = 1
+	}
+	n := m.bufferBytes() / entryBytes
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Chunks invokes fn for each buffer-sized chunk of entries, in order.
+// It mirrors the request-buffer flush behaviour: a message goes out when
+// the buffer fills or the remaining data ends (flush-on-complete).
+func Chunks[K any](m *Manager, entries []comm.Entry[K], keyBytes int, fn func(chunk []comm.Entry[K]) error) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	step := m.ChunkLen(keyBytes + 8)
+	for lo := 0; lo < len(entries); lo += step {
+		hi := lo + step
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		if err := fn(entries[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Assembly is a receive buffer for the all-to-all exchange. The range
+// metadata broadcast tells the processor how many entries each source will
+// send; Assembly precomputes one offset per source so chunks from
+// different sources are written concurrently without coordination, and
+// chunks from the same source (which arrive in FIFO order) advance a
+// per-source cursor.
+type Assembly[K any] struct {
+	entries  []comm.Entry[K]
+	offsets  []int // base offset per source
+	cursor   []int // next write position per source (relative to base)
+	expect   []int // entries expected per source
+	gotMu    sync.Mutex
+	missing  int
+	signaled bool
+	done     chan struct{}
+	tracker  *alloc.Tracker
+	size     int64
+}
+
+// NewAssembly allocates an assembly buffer for perSrc[i] entries from each
+// source i. entryBytes sizes the temporary-memory accounting.
+func NewAssembly[K any](m *Manager, perSrc []int, entryBytes int) *Assembly[K] {
+	total := 0
+	offsets := make([]int, len(perSrc)+1)
+	for i, n := range perSrc {
+		if n < 0 {
+			panic(fmt.Sprintf("datamgr: negative expected count %d from source %d", n, i))
+		}
+		offsets[i] = total
+		total += n
+	}
+	offsets[len(perSrc)] = total
+	missing := 0
+	for _, n := range perSrc {
+		missing += n
+	}
+	a := &Assembly[K]{
+		entries: make([]comm.Entry[K], total),
+		offsets: offsets,
+		cursor:  make([]int, len(perSrc)),
+		expect:  append([]int(nil), perSrc...),
+		missing: missing,
+		done:    make(chan struct{}),
+	}
+	if m != nil && m.Tracker != nil {
+		a.tracker = m.Tracker
+		a.size = int64(total) * int64(entryBytes)
+		a.tracker.Alloc(a.size)
+	}
+	if missing == 0 {
+		a.signaled = true
+		close(a.done)
+	}
+	return a
+}
+
+// Write copies a chunk arriving from src into its region. Chunks from the
+// same source must arrive in order (the transports guarantee per-pair
+// FIFO); chunks from different sources may be written concurrently.
+func (a *Assembly[K]) Write(src int, chunk []comm.Entry[K]) error {
+	if src < 0 || src >= len(a.cursor) {
+		return fmt.Errorf("datamgr: source %d out of range", src)
+	}
+	base := a.offsets[src]
+	cur := a.cursor[src]
+	if cur+len(chunk) > a.expect[src] {
+		return fmt.Errorf("datamgr: source %d overflows its region: %d+%d > %d",
+			src, cur, len(chunk), a.expect[src])
+	}
+	copy(a.entries[base+cur:], chunk)
+	a.cursor[src] = cur + len(chunk)
+
+	a.gotMu.Lock()
+	a.missing -= len(chunk)
+	finished := a.missing == 0 && !a.signaled
+	if finished {
+		a.signaled = true
+	}
+	a.gotMu.Unlock()
+	if finished {
+		close(a.done)
+	}
+	return nil
+}
+
+// Done is closed once every expected entry has been written.
+func (a *Assembly[K]) Done() <-chan struct{} { return a.done }
+
+// Entries exposes the assembled buffer. Each source's region is a sorted
+// run; Bounds gives the run boundaries for the final balanced merge.
+func (a *Assembly[K]) Entries() []comm.Entry[K] { return a.entries }
+
+// Bounds returns the per-source run boundaries within Entries, in the
+// layout MergeAdjacentRuns expects.
+func (a *Assembly[K]) Bounds() []int { return a.offsets }
+
+// Release returns the assembly's temporary memory to the tracker.
+// The entries buffer itself remains usable by the caller (it becomes the
+// node's result storage, i.e. resident rather than temporary memory).
+func (a *Assembly[K]) Release() {
+	if a.tracker != nil {
+		a.tracker.Free(a.size)
+		a.tracker = nil
+	}
+}

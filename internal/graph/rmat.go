@@ -1,0 +1,117 @@
+package graph
+
+import (
+	"runtime"
+	"sync"
+
+	"pgxsort/internal/dist"
+)
+
+// RMATConfig parameterizes the recursive-matrix graph generator.
+// The defaults produce a heavy-tailed, Twitter-like degree distribution:
+// a few celebrity vertices with enormous degree and a long tail of
+// low-degree vertices sharing few distinct degree values — the
+// duplicate-heavy key distribution of the paper's Figure 8 dataset.
+type RMATConfig struct {
+	// Scale gives 2^Scale vertices.
+	Scale int
+	// EdgeFactor gives EdgeFactor * 2^Scale edges. Default 16.
+	EdgeFactor int
+	// A, B, C are the RMAT quadrant probabilities (D = 1-A-B-C).
+	// Defaults are the Graph500 parameters 0.57/0.19/0.19.
+	A, B, C float64
+	// Seed makes generation deterministic.
+	Seed uint64
+}
+
+func (c RMATConfig) withDefaults() RMATConfig {
+	if c.Scale <= 0 {
+		c.Scale = 16
+	}
+	if c.EdgeFactor <= 0 {
+		c.EdgeFactor = 16
+	}
+	if c.A == 0 && c.B == 0 && c.C == 0 {
+		c.A, c.B, c.C = 0.57, 0.19, 0.19
+	}
+	return c
+}
+
+// NumVertices returns 2^Scale.
+func (c RMATConfig) NumVertices() int { return 1 << uint(c.withDefaults().Scale) }
+
+// NumEdges returns EdgeFactor * 2^Scale.
+func (c RMATConfig) NumEdges() int {
+	c = c.withDefaults()
+	return c.EdgeFactor << uint(c.Scale)
+}
+
+// RMAT generates the edge list in parallel, deterministically for a given
+// seed: each fixed-size block of edges derives its own RNG stream.
+func RMAT(cfg RMATConfig) []Edge {
+	cfg = cfg.withDefaults()
+	nEdges := cfg.NumEdges()
+	edges := make([]Edge, nEdges)
+
+	const block = 1 << 14
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	next := make(chan int, workers)
+	go func() {
+		for lo := 0; lo < nEdges; lo += block {
+			next <- lo
+		}
+		close(next)
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for lo := range next {
+				hi := lo + block
+				if hi > nEdges {
+					hi = nEdges
+				}
+				rng := dist.NewRNG(cfg.Seed ^ (0x9e3779b97f4a7c15 * uint64(lo/block+1)))
+				for i := lo; i < hi; i++ {
+					edges[i] = rmatEdge(cfg, rng)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return edges
+}
+
+// rmatEdge draws one edge by recursively descending the adjacency matrix.
+func rmatEdge(cfg RMATConfig, rng *dist.RNG) Edge {
+	var src, dst uint32
+	for level := 0; level < cfg.Scale; level++ {
+		r := rng.Float64()
+		switch {
+		case r < cfg.A:
+			// top-left: no bits set
+		case r < cfg.A+cfg.B:
+			dst |= 1 << uint(level)
+		case r < cfg.A+cfg.B+cfg.C:
+			src |= 1 << uint(level)
+		default:
+			src |= 1 << uint(level)
+			dst |= 1 << uint(level)
+		}
+	}
+	return Edge{Src: src, Dst: dst}
+}
+
+// TwitterLike builds the CSR stand-in for the paper's Twitter dataset
+// (41.6M vertices / 25GB in the paper; here scaled by cfg.Scale).
+func TwitterLike(cfg RMATConfig) *CSR {
+	cfg = cfg.withDefaults()
+	edges := RMAT(cfg)
+	g, err := FromEdges(cfg.NumVertices(), edges)
+	if err != nil {
+		// RMAT never emits out-of-range vertices; reaching this is a bug.
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,100 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation section (§V) from the engines in this repository. Each
+// experiment returns text tables whose rows/series match what the paper
+// plots; the CLI in cmd/pgxsort-bench renders them and can export CSV.
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Table is a rendered experiment result: the rows/series of one figure or
+// table from the paper.
+type Table struct {
+	ID     string // experiment id, e.g. "fig5"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render draws the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (cells containing commas
+// or quotes are quoted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// WriteCSV saves the table as <dir>/<id>[-<n>].csv and returns the path.
+func (t *Table) WriteCSV(dir string, n int) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	name := t.ID
+	if n > 0 {
+		name = fmt.Sprintf("%s-%d", t.ID, n)
+	}
+	path := filepath.Join(dir, name+".csv")
+	return path, os.WriteFile(path, []byte(t.CSV()), 0o644)
+}

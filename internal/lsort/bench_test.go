@@ -1,0 +1,122 @@
+package lsort
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"pgxsort/internal/alloc"
+	"pgxsort/internal/dist"
+)
+
+const benchN = 1 << 18
+
+func benchKeys(kind dist.Kind) []uint64 {
+	return dist.Gen{Kind: kind, Seed: 42}.Keys(benchN)
+}
+
+func BenchmarkQuicksort(b *testing.B) {
+	for _, kind := range []dist.Kind{dist.Uniform, dist.Sorted, dist.FewDistinct} {
+		b.Run(kind.String(), func(b *testing.B) {
+			keys := benchKeys(kind)
+			buf := make([]uint64, len(keys))
+			b.SetBytes(benchN * 8)
+			for i := 0; i < b.N; i++ {
+				copy(buf, keys)
+				Quicksort(buf, lessU64)
+			}
+		})
+	}
+}
+
+func BenchmarkTimSort(b *testing.B) {
+	for _, kind := range []dist.Kind{dist.Uniform, dist.Sorted, dist.FewDistinct} {
+		b.Run(kind.String(), func(b *testing.B) {
+			keys := benchKeys(kind)
+			buf := make([]uint64, len(keys))
+			b.SetBytes(benchN * 8)
+			for i := 0; i < b.N; i++ {
+				copy(buf, keys)
+				TimSort(buf, lessU64)
+			}
+		})
+	}
+}
+
+func BenchmarkStdlibSort(b *testing.B) {
+	keys := benchKeys(dist.Uniform)
+	buf := make([]uint64, len(keys))
+	b.SetBytes(benchN * 8)
+	for i := 0; i < b.N; i++ {
+		copy(buf, keys)
+		sort.Slice(buf, func(x, y int) bool { return buf[x] < buf[y] })
+	}
+}
+
+func BenchmarkParallelSort(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			keys := benchKeys(dist.Uniform)
+			buf := make([]uint64, len(keys))
+			var tr alloc.Tracker
+			b.SetBytes(benchN * 8)
+			for i := 0; i < b.N; i++ {
+				copy(buf, keys)
+				ParallelSort(buf, lessU64, workers, &tr)
+			}
+		})
+	}
+}
+
+func BenchmarkBalancedMergeVsKWay(b *testing.B) {
+	const runs = 8
+	keys := benchKeys(dist.Uniform)
+	bounds := make([]int, runs+1)
+	for i := 0; i <= runs; i++ {
+		bounds[i] = i * len(keys) / runs
+	}
+	for i := 0; i < runs; i++ {
+		seg := keys[bounds[i]:bounds[i+1]]
+		sort.Slice(seg, func(x, y int) bool { return seg[x] < seg[y] })
+	}
+	runSlices := make([][]uint64, runs)
+	for i := range runSlices {
+		runSlices[i] = keys[bounds[i]:bounds[i+1]]
+	}
+	b.Run("balanced-parallel", func(b *testing.B) {
+		data := make([]uint64, len(keys))
+		scratch := make([]uint64, len(keys))
+		b.SetBytes(benchN * 8)
+		for i := 0; i < b.N; i++ {
+			copy(data, keys)
+			MergeAdjacentRuns(data, scratch, bounds, lessU64, true)
+		}
+	})
+	b.Run("balanced-sequential", func(b *testing.B) {
+		data := make([]uint64, len(keys))
+		scratch := make([]uint64, len(keys))
+		b.SetBytes(benchN * 8)
+		for i := 0; i < b.N; i++ {
+			copy(data, keys)
+			MergeAdjacentRuns(data, scratch, bounds, lessU64, false)
+		}
+	})
+	b.Run("kway-losertree", func(b *testing.B) {
+		b.SetBytes(benchN * 8)
+		for i := 0; i < b.N; i++ {
+			KWayMerge(runSlices, lessU64)
+		}
+	})
+}
+
+func BenchmarkTopKSelection(b *testing.B) {
+	keys := benchKeys(dist.Uniform)
+	for _, k := range []int{10, 1000} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.SetBytes(benchN * 8)
+			for i := 0; i < b.N; i++ {
+				TopK(keys, k, lessU64)
+			}
+		})
+	}
+}

@@ -1,0 +1,144 @@
+// Package lsort implements the local (single-node) sorting machinery the
+// paper builds on: sequential and chunked-parallel quicksort, the balanced
+// pairwise merging handler of Figure 2, TimSort (the algorithm Spark's
+// sortByKey uses per partition), and a loser-tree k-way merge used as the
+// ablation counterpart of the balanced handler.
+//
+// All algorithms are generic over the element type with an explicit less
+// function, mirroring the paper's claim that the sorting library "is
+// generic and works with any data type".
+package lsort
+
+import "sync"
+
+// mergeInto merges the two sorted runs a and b into dst, which must have
+// length len(a)+len(b). The merge is stable: on equal elements the one
+// from a is emitted first.
+func mergeInto[E any](dst, a, b []E, less func(x, y E) bool) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if less(b[j], a[i]) {
+			dst[k] = b[j]
+			j++
+		} else {
+			dst[k] = a[i]
+			i++
+		}
+		k++
+	}
+	k += copy(dst[k:], a[i:])
+	copy(dst[k:], b[j:])
+}
+
+// MergeAdjacentRuns merges sorted runs laid out back-to-back in data using
+// the paper's balanced merging handler (Figure 2): in round r, the run
+// owned by position i (i divisible by 2^(r+1)) merges with the run at
+// i+2^r, so operand sizes stay near-equal in every round and all merges of
+// a round can run in parallel.
+//
+// bounds holds the k+1 run boundaries: run j is data[bounds[j]:bounds[j+1]].
+// scratch must be a buffer of len(data); rounds ping-pong between data and
+// scratch. The returned slice (either data or scratch) holds the fully
+// merged result. If parallel is true the merges of each round execute
+// concurrently.
+func MergeAdjacentRuns[E any](data, scratch []E, bounds []int, less func(x, y E) bool, parallel bool) []E {
+	if len(bounds) < 2 {
+		return data[:0]
+	}
+	if len(scratch) < len(data) {
+		panic("lsort: scratch smaller than data")
+	}
+	runs := len(bounds) - 1
+	src, dst := data, scratch
+	b := make([]int, len(bounds))
+	copy(b, bounds)
+	for step := 1; step < runs; step *= 2 {
+		// When the round has fewer merges than workers (the tail of
+		// Figure 2's tree), split each merge along merge-path diagonals
+		// so the idle workers help (intra-merge parallelism extension).
+		mergesThisRound := (runs + 2*step - 1) / (2 * step)
+		ways := 1
+		if parallel && mergesThisRound < mergeWays() {
+			ways = (mergeWays() + mergesThisRound - 1) / mergesThisRound
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < runs; i += 2 * step {
+			j := i + step
+			lo := b[i]
+			if j >= runs {
+				// No partner this round: carry the run over unchanged.
+				hi := b[min(i+step, runs)]
+				copy(dst[lo:hi], src[lo:hi])
+				continue
+			}
+			mid := b[j]
+			hi := b[min(j+step, runs)]
+			if parallel {
+				wg.Add(1)
+				go func(lo, mid, hi, ways int) {
+					defer wg.Done()
+					if ways > 1 {
+						ParallelMergeInto(dst[lo:hi], src[lo:mid], src[mid:hi], less, ways)
+					} else {
+						mergeInto(dst[lo:hi], src[lo:mid], src[mid:hi], less)
+					}
+				}(lo, mid, hi, ways)
+			} else {
+				mergeInto(dst[lo:hi], src[lo:mid], src[mid:hi], less)
+			}
+		}
+		wg.Wait()
+		src, dst = dst, src
+	}
+	return src[:b[runs]]
+}
+
+// MergeRuns merges separately allocated sorted runs with the balanced
+// handler by first laying them out back-to-back in a fresh buffer.
+// It returns a newly allocated sorted slice; runs are not modified.
+func MergeRuns[E any](runs [][]E, less func(x, y E) bool, parallel bool) []E {
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	if total == 0 {
+		return nil
+	}
+	data := make([]E, total)
+	bounds := make([]int, 0, len(runs)+1)
+	bounds = append(bounds, 0)
+	off := 0
+	for _, r := range runs {
+		off += copy(data[off:], r)
+		bounds = append(bounds, off)
+	}
+	scratch := make([]E, total)
+	out := MergeAdjacentRuns(data, scratch, bounds, less, parallel)
+	return out
+}
+
+// RoundSizes reports, for diagnostics and tests, the operand sizes of each
+// balanced-merge round for the given run boundaries. Round x contains one
+// [leftLen, rightLen] pair per merge executed in that round.
+func RoundSizes(bounds []int) [][][2]int {
+	if len(bounds) < 2 {
+		return nil
+	}
+	runs := len(bounds) - 1
+	var rounds [][][2]int
+	for step := 1; step < runs; step *= 2 {
+		var merges [][2]int
+		for i := 0; i < runs; i += 2 * step {
+			j := i + step
+			if j >= runs {
+				continue
+			}
+			lo := bounds[i]
+			mid := bounds[j]
+			hi := bounds[min(j+step, runs)]
+			merges = append(merges, [2]int{mid - lo, hi - mid})
+		}
+		rounds = append(rounds, merges)
+	}
+	return rounds
+}

@@ -1,0 +1,92 @@
+package lsort
+
+import (
+	"runtime"
+	"sync"
+)
+
+// CoRank finds a split point (i, j) with i+j = d such that merging
+// a[:i] with b[:j] and a[i:] with b[j:] separately yields the same sorted
+// multiset as one merge of a and b (the "merge path" diagonal
+// intersection). It runs in O(log min(len(a), len(b), d)).
+func CoRank[E any](d int, a, b []E, less func(x, y E) bool) (i, j int) {
+	lo := d - len(b)
+	if lo < 0 {
+		lo = 0
+	}
+	hi := d
+	if hi > len(a) {
+		hi = len(a)
+	}
+	for {
+		i = int(uint(lo+hi) >> 1)
+		j = d - i
+		if i > 0 && j < len(b) && less(b[j], a[i-1]) {
+			// a[i-1] belongs after b[j]: too many taken from a.
+			hi = i - 1
+			continue
+		}
+		if j > 0 && i < len(a) && less(a[i], b[j-1]) {
+			// b[j-1] belongs after a[i]: too few taken from a.
+			lo = i + 1
+			continue
+		}
+		return i, j
+	}
+}
+
+// ParallelMergeInto merges the sorted runs a and b into dst (which must
+// have length len(a)+len(b)) using `ways` concurrent segment merges split
+// along merge-path diagonals. It extends the paper's balanced merging
+// handler to the last rounds of Figure 2, where there are fewer pending
+// merges than worker threads and pairwise parallelism alone runs dry.
+//
+// Unlike mergeInto, the result is sorted but ties between a and b may be
+// emitted in either order (the engine's entries are unordered on ties
+// anyway; use mergeInto where stability matters).
+func ParallelMergeInto[E any](dst, a, b []E, less func(x, y E) bool, ways int) {
+	total := len(a) + len(b)
+	if len(dst) < total {
+		panic("lsort: ParallelMergeInto dst too small")
+	}
+	if ways < 1 {
+		ways = 1
+	}
+	if ways > total {
+		ways = total
+	}
+	if ways == 1 || total < 4096 {
+		mergeInto(dst, a, b, less)
+		return
+	}
+	var wg sync.WaitGroup
+	prevI, prevJ := 0, 0
+	for k := 1; k <= ways; k++ {
+		var i, j int
+		if k == ways {
+			i, j = len(a), len(b)
+		} else {
+			i, j = CoRank(k*total/ways, a, b, less)
+		}
+		segA := a[prevI:i]
+		segB := b[prevJ:j]
+		segDst := dst[prevI+prevJ : i+j]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mergeInto(segDst, segA, segB, less)
+		}()
+		prevI, prevJ = i, j
+	}
+	wg.Wait()
+}
+
+// mergeWays is the segment count used when the balanced handler falls back
+// to intra-merge parallelism in its last rounds.
+func mergeWays() int {
+	w := runtime.GOMAXPROCS(0)
+	if w < 2 {
+		return 2
+	}
+	return w
+}

@@ -1,0 +1,134 @@
+package lsort
+
+import (
+	"sync"
+
+	"pgxsort/internal/alloc"
+)
+
+// insertionCutoff is the subarray size below which quicksort switches to
+// insertion sort. 12-24 is the classic sweet spot; 16 benchmarks best here.
+const insertionCutoff = 16
+
+// insertionSort sorts s in place. It is stable.
+func insertionSort[E any](s []E, less func(x, y E) bool) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && less(v, s[j]) {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}
+
+// medianOfThree orders s[a], s[b], s[c] so that s[b] holds the median.
+func medianOfThree[E any](s []E, a, b, c int, less func(x, y E) bool) {
+	if less(s[b], s[a]) {
+		s[a], s[b] = s[b], s[a]
+	}
+	if less(s[c], s[b]) {
+		s[b], s[c] = s[c], s[b]
+		if less(s[b], s[a]) {
+			s[a], s[b] = s[b], s[a]
+		}
+	}
+}
+
+// Quicksort sorts s in place with a three-way (Dutch national flag)
+// partition quicksort. Three-way partitioning matters here because the
+// paper's hard inputs contain long runs of duplicated keys, which would
+// drive a two-way quicksort quadratic.
+func Quicksort[E any](s []E, less func(x, y E) bool) {
+	for len(s) > insertionCutoff {
+		mid := len(s) / 2
+		hi := len(s) - 1
+		if len(s) > 64 {
+			// Ninther: median of three medians for large slices.
+			eighth := len(s) / 8
+			medianOfThree(s, 0, eighth, 2*eighth, less)
+			medianOfThree(s, mid-eighth, mid, mid+eighth, less)
+			medianOfThree(s, hi-2*eighth, hi-eighth, hi, less)
+			medianOfThree(s, eighth, mid, hi-eighth, less)
+		} else {
+			medianOfThree(s, 0, mid, hi, less)
+		}
+		pivot := s[mid]
+		// Three-way partition: s[:lt] < pivot, s[lt:gt+1] == pivot,
+		// s[gt+1:] > pivot.
+		lt, i, gt := 0, 0, hi
+		for i <= gt {
+			switch {
+			case less(s[i], pivot):
+				s[lt], s[i] = s[i], s[lt]
+				lt++
+				i++
+			case less(pivot, s[i]):
+				s[i], s[gt] = s[gt], s[i]
+				gt--
+			default:
+				i++
+			}
+		}
+		// Recurse into the smaller side, loop on the larger, bounding
+		// stack depth at O(log n).
+		if lt < len(s)-gt-1 {
+			Quicksort(s[:lt], less)
+			s = s[gt+1:]
+		} else {
+			Quicksort(s[gt+1:], less)
+			s = s[:lt]
+		}
+	}
+	insertionSort(s, less)
+}
+
+// ParallelSort implements step (1) of the paper's pipeline: data is divided
+// equally among `workers` worker threads, each thread quicksorts its chunk,
+// and the sorted chunks are combined with the balanced merging handler of
+// Figure 2 (each round's merges run in parallel).
+//
+// The merge scratch buffer (len(s) elements) is the sort's only temporary
+// allocation and is reported to tr, matching the paper's Figure 11 memory
+// accounting. The sorted result is written back into s.
+func ParallelSort[E any](s []E, less func(x, y E) bool, workers int, tr *alloc.Tracker) {
+	n := len(s)
+	if workers < 1 {
+		workers = 1
+	}
+	if workers == 1 || n <= 2*insertionCutoff {
+		Quicksort(s, less)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	// Equal chunking, as in the paper: thread i owns chunk i.
+	bounds := make([]int, workers+1)
+	for i := 0; i <= workers; i++ {
+		bounds[i] = i * n / workers
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		lo, hi := bounds[i], bounds[i+1]
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(chunk []E) {
+			defer wg.Done()
+			Quicksort(chunk, less)
+		}(s[lo:hi])
+	}
+	wg.Wait()
+
+	var esize int64 = int64(elemSize[E]())
+	scratch := make([]E, n)
+	tr.Alloc(int64(n) * esize)
+	defer tr.Free(int64(n) * esize)
+	out := MergeAdjacentRuns(s, scratch, bounds, less, true)
+	if &out[0] != &s[0] {
+		copy(s, out)
+	}
+}

@@ -1,0 +1,509 @@
+package lsort
+
+// TimSort is the adaptive, stable merge sort used by Spark (via the JVM)
+// for the per-partition sort in sortByKey; the paper picks it as the local
+// sort of the Spark baseline and borrows its "balanced merges on natural
+// runs" idea. This is a faithful port of the classic algorithm: natural
+// run detection, binary-insertion extension to minrun, the (corrected)
+// merge-collapse stack invariants, and galloping-mode merges.
+
+const (
+	// tsMinMerge: arrays shorter than this are sorted with one binary
+	// insertion pass (Java's MIN_MERGE).
+	tsMinMerge = 32
+	// tsMinGallop: initial threshold of consecutive wins that switches a
+	// merge into galloping mode.
+	tsMinGallop = 7
+)
+
+// TimSort sorts a stably in place.
+func TimSort[E any](a []E, less func(x, y E) bool) {
+	n := len(a)
+	if n < 2 {
+		return
+	}
+	if n < tsMinMerge {
+		initLen := countRunAndMakeAscending(a, less)
+		binaryInsertionSort(a, initLen, less)
+		return
+	}
+	ts := &timState[E]{a: a, less: less, minGallop: tsMinGallop}
+	minRun := minRunLength(n)
+	lo := 0
+	for lo < n {
+		runLen := countRunAndMakeAscending(a[lo:], less)
+		if runLen < minRun {
+			force := min(minRun, n-lo)
+			binaryInsertionSort(a[lo:lo+force], runLen, less)
+			runLen = force
+		}
+		ts.pushRun(lo, runLen)
+		ts.mergeCollapse()
+		lo += runLen
+	}
+	ts.mergeForceCollapse()
+}
+
+// minRunLength computes the minimum run length for TimSort: a number k,
+// tsMinMerge/2 <= k <= tsMinMerge, such that n/k is close to, but strictly
+// less than, an exact power of 2 (or equal to it when n is).
+func minRunLength(n int) int {
+	r := 0
+	for n >= tsMinMerge {
+		r |= n & 1
+		n >>= 1
+	}
+	return n + r
+}
+
+// countRunAndMakeAscending finds the length of the natural run beginning
+// at a[0] and reverses it in place if it is strictly descending (strictness
+// preserves stability).
+func countRunAndMakeAscending[E any](a []E, less func(x, y E) bool) int {
+	n := len(a)
+	if n <= 1 {
+		return n
+	}
+	i := 1
+	if less(a[1], a[0]) { // strictly descending
+		for i++; i < n && less(a[i], a[i-1]); i++ {
+		}
+		reverseRange(a[:i])
+	} else { // non-decreasing
+		for i++; i < n && !less(a[i], a[i-1]); i++ {
+		}
+	}
+	return i
+}
+
+func reverseRange[E any](a []E) {
+	for i, j := 0, len(a)-1; i < j; i, j = i+1, j-1 {
+		a[i], a[j] = a[j], a[i]
+	}
+}
+
+// binaryInsertionSort sorts a, whose prefix a[:sortedLen] is already
+// sorted, using binary search to find insertion points.
+func binaryInsertionSort[E any](a []E, sortedLen int, less func(x, y E) bool) {
+	if sortedLen == 0 {
+		sortedLen = 1
+	}
+	for i := sortedLen; i < len(a); i++ {
+		pivot := a[i]
+		// Rightmost insertion point keeps the sort stable.
+		pos := UpperBound(a[:i], pivot, func(e, k E) bool { return less(k, e) })
+		copy(a[pos+1:i+1], a[pos:i])
+		a[pos] = pivot
+	}
+}
+
+type timState[E any] struct {
+	a         []E
+	less      func(x, y E) bool
+	minGallop int
+	tmp       []E
+	runBase   []int
+	runLen    []int
+}
+
+func (ts *timState[E]) pushRun(base, length int) {
+	ts.runBase = append(ts.runBase, base)
+	ts.runLen = append(ts.runLen, length)
+}
+
+// mergeCollapse restores the stack invariants, merging adjacent runs until
+//
+//	runLen[i-3] > runLen[i-2] + runLen[i-1]
+//	runLen[i-2] > runLen[i-1]
+//
+// hold. This is the corrected version (checking one entry deeper) that
+// fixes the original TimSort invariant bug found by de Gouw et al.
+func (ts *timState[E]) mergeCollapse() {
+	for len(ts.runLen) > 1 {
+		n := len(ts.runLen) - 2
+		switch {
+		case (n > 0 && ts.runLen[n-1] <= ts.runLen[n]+ts.runLen[n+1]) ||
+			(n > 1 && ts.runLen[n-2] <= ts.runLen[n-1]+ts.runLen[n]):
+			if ts.runLen[n-1] < ts.runLen[n+1] {
+				n--
+			}
+			ts.mergeAt(n)
+		case ts.runLen[n] <= ts.runLen[n+1]:
+			ts.mergeAt(n)
+		default:
+			return
+		}
+	}
+}
+
+func (ts *timState[E]) mergeForceCollapse() {
+	for len(ts.runLen) > 1 {
+		n := len(ts.runLen) - 2
+		if n > 0 && ts.runLen[n-1] < ts.runLen[n+1] {
+			n--
+		}
+		ts.mergeAt(n)
+	}
+}
+
+// mergeAt merges the stack runs at i and i+1 (i must be len-2 or len-3).
+func (ts *timState[E]) mergeAt(i int) {
+	base1, len1 := ts.runBase[i], ts.runLen[i]
+	base2, len2 := ts.runBase[i+1], ts.runLen[i+1]
+	ts.runLen[i] = len1 + len2
+	if i == len(ts.runLen)-3 {
+		ts.runBase[i+1] = ts.runBase[i+2]
+		ts.runLen[i+1] = ts.runLen[i+2]
+	}
+	ts.runBase = ts.runBase[:len(ts.runBase)-1]
+	ts.runLen = ts.runLen[:len(ts.runLen)-1]
+
+	a, less := ts.a, ts.less
+	// Elements of run1 already <= first of run2 stay put.
+	k := gallopRight(a[base2], a[base1:base1+len1], 0, less)
+	base1 += k
+	len1 -= k
+	if len1 == 0 {
+		return
+	}
+	// Elements of run2 already >= last of run1 stay put.
+	len2 = gallopLeft(a[base1+len1-1], a[base2:base2+len2], len2-1, less)
+	if len2 == 0 {
+		return
+	}
+	if len1 <= len2 {
+		ts.mergeLo(base1, len1, base2, len2)
+	} else {
+		ts.mergeHi(base1, len1, base2, len2)
+	}
+}
+
+// gallopLeft locates the leftmost insertion point of key in the sorted
+// slice a, galloping outward from hint. Returns i such that
+// a[i-1] < key <= a[i].
+func gallopLeft[E any](key E, a []E, hint int, less func(x, y E) bool) int {
+	n := len(a)
+	lastOfs, ofs := 0, 1
+	if less(a[hint], key) {
+		// Gallop right until a[hint+lastOfs] < key <= a[hint+ofs].
+		maxOfs := n - hint
+		for ofs < maxOfs && less(a[hint+ofs], key) {
+			lastOfs = ofs
+			ofs = ofs*2 + 1
+			if ofs <= 0 {
+				ofs = maxOfs
+			}
+		}
+		if ofs > maxOfs {
+			ofs = maxOfs
+		}
+		lastOfs += hint
+		ofs += hint
+	} else {
+		// Gallop left until a[hint-ofs] < key <= a[hint-lastOfs].
+		maxOfs := hint + 1
+		for ofs < maxOfs && !less(a[hint-ofs], key) {
+			lastOfs = ofs
+			ofs = ofs*2 + 1
+			if ofs <= 0 {
+				ofs = maxOfs
+			}
+		}
+		if ofs > maxOfs {
+			ofs = maxOfs
+		}
+		lastOfs, ofs = hint-ofs, hint-lastOfs
+	}
+	// Binary search in (lastOfs, ofs].
+	lastOfs++
+	for lastOfs < ofs {
+		m := lastOfs + (ofs-lastOfs)/2
+		if less(a[m], key) {
+			lastOfs = m + 1
+		} else {
+			ofs = m
+		}
+	}
+	return ofs
+}
+
+// gallopRight locates the rightmost insertion point of key in the sorted
+// slice a, galloping outward from hint. Returns i such that
+// a[i-1] <= key < a[i].
+func gallopRight[E any](key E, a []E, hint int, less func(x, y E) bool) int {
+	n := len(a)
+	lastOfs, ofs := 0, 1
+	if less(key, a[hint]) {
+		// Gallop left until a[hint-ofs] <= key < a[hint-lastOfs].
+		maxOfs := hint + 1
+		for ofs < maxOfs && less(key, a[hint-ofs]) {
+			lastOfs = ofs
+			ofs = ofs*2 + 1
+			if ofs <= 0 {
+				ofs = maxOfs
+			}
+		}
+		if ofs > maxOfs {
+			ofs = maxOfs
+		}
+		lastOfs, ofs = hint-ofs, hint-lastOfs
+	} else {
+		// Gallop right until a[hint+lastOfs] <= key < a[hint+ofs].
+		maxOfs := n - hint
+		for ofs < maxOfs && !less(key, a[hint+ofs]) {
+			lastOfs = ofs
+			ofs = ofs*2 + 1
+			if ofs <= 0 {
+				ofs = maxOfs
+			}
+		}
+		if ofs > maxOfs {
+			ofs = maxOfs
+		}
+		lastOfs += hint
+		ofs += hint
+	}
+	lastOfs++
+	for lastOfs < ofs {
+		m := lastOfs + (ofs-lastOfs)/2
+		if less(key, a[m]) {
+			ofs = m
+		} else {
+			lastOfs = m + 1
+		}
+	}
+	return ofs
+}
+
+func (ts *timState[E]) ensureTmp(n int) []E {
+	if cap(ts.tmp) < n {
+		ts.tmp = make([]E, n)
+	}
+	return ts.tmp[:n]
+}
+
+// mergeLo merges two adjacent runs where len1 <= len2, copying run1 aside.
+func (ts *timState[E]) mergeLo(base1, len1, base2, len2 int) {
+	a, less := ts.a, ts.less
+	tmp := ts.ensureTmp(len1)
+	copy(tmp, a[base1:base1+len1])
+
+	cursor1, cursor2, dest := 0, base2, base1
+	a[dest] = a[cursor2]
+	dest++
+	cursor2++
+	len2--
+	if len2 == 0 {
+		copy(a[dest:], tmp[cursor1:len1])
+		return
+	}
+	if len1 == 1 {
+		copy(a[dest:dest+len2], a[cursor2:cursor2+len2])
+		a[dest+len2] = tmp[cursor1]
+		return
+	}
+
+	minGallop := ts.minGallop
+outer:
+	for {
+		count1, count2 := 0, 0 // consecutive wins
+		for {
+			if less(a[cursor2], tmp[cursor1]) {
+				a[dest] = a[cursor2]
+				dest++
+				cursor2++
+				count2++
+				count1 = 0
+				len2--
+				if len2 == 0 {
+					break outer
+				}
+			} else {
+				a[dest] = tmp[cursor1]
+				dest++
+				cursor1++
+				count1++
+				count2 = 0
+				len1--
+				if len1 == 1 {
+					break outer
+				}
+			}
+			if count1|count2 >= minGallop {
+				break
+			}
+		}
+		// Galloping mode.
+		for {
+			count1 = gallopRight(a[cursor2], tmp[cursor1:cursor1+len1], 0, less)
+			if count1 != 0 {
+				copy(a[dest:dest+count1], tmp[cursor1:cursor1+count1])
+				dest += count1
+				cursor1 += count1
+				len1 -= count1
+				if len1 <= 1 {
+					break outer
+				}
+			}
+			a[dest] = a[cursor2]
+			dest++
+			cursor2++
+			len2--
+			if len2 == 0 {
+				break outer
+			}
+			count2 = gallopLeft(tmp[cursor1], a[cursor2:cursor2+len2], 0, less)
+			if count2 != 0 {
+				copy(a[dest:dest+count2], a[cursor2:cursor2+count2])
+				dest += count2
+				cursor2 += count2
+				len2 -= count2
+				if len2 == 0 {
+					break outer
+				}
+			}
+			a[dest] = tmp[cursor1]
+			dest++
+			cursor1++
+			len1--
+			if len1 == 1 {
+				break outer
+			}
+			minGallop--
+			if count1 < tsMinGallop && count2 < tsMinGallop {
+				break
+			}
+		}
+		if minGallop < 0 {
+			minGallop = 0
+		}
+		minGallop += 2 // penalize leaving gallop mode
+	}
+	ts.minGallop = max(minGallop, 1)
+
+	switch {
+	case len1 == 1:
+		copy(a[dest:dest+len2], a[cursor2:cursor2+len2])
+		a[dest+len2] = tmp[cursor1]
+	case len1 == 0:
+		panic("lsort: timsort comparison violates its contract")
+	default:
+		copy(a[dest:dest+len1], tmp[cursor1:cursor1+len1])
+	}
+}
+
+// mergeHi merges two adjacent runs where len1 > len2, copying run2 aside
+// and merging from the right.
+func (ts *timState[E]) mergeHi(base1, len1, base2, len2 int) {
+	a, less := ts.a, ts.less
+	tmp := ts.ensureTmp(len2)
+	copy(tmp, a[base2:base2+len2])
+
+	cursor1 := base1 + len1 - 1
+	cursor2 := len2 - 1
+	dest := base2 + len2 - 1
+	a[dest] = a[cursor1]
+	dest--
+	cursor1--
+	len1--
+	if len1 == 0 {
+		copy(a[dest-(len2-1):dest+1], tmp[:len2])
+		return
+	}
+	if len2 == 1 {
+		dest -= len1
+		cursor1 -= len1
+		copy(a[dest+1:dest+1+len1], a[cursor1+1:cursor1+1+len1])
+		a[dest] = tmp[cursor2]
+		return
+	}
+
+	minGallop := ts.minGallop
+outer:
+	for {
+		count1, count2 := 0, 0
+		for {
+			if less(tmp[cursor2], a[cursor1]) {
+				a[dest] = a[cursor1]
+				dest--
+				cursor1--
+				count1++
+				count2 = 0
+				len1--
+				if len1 == 0 {
+					break outer
+				}
+			} else {
+				a[dest] = tmp[cursor2]
+				dest--
+				cursor2--
+				count2++
+				count1 = 0
+				len2--
+				if len2 == 1 {
+					break outer
+				}
+			}
+			if count1|count2 >= minGallop {
+				break
+			}
+		}
+		for {
+			count1 = len1 - gallopRight(tmp[cursor2], a[base1:base1+len1], len1-1, less)
+			if count1 != 0 {
+				dest -= count1
+				cursor1 -= count1
+				len1 -= count1
+				copy(a[dest+1:dest+1+count1], a[cursor1+1:cursor1+1+count1])
+				if len1 == 0 {
+					break outer
+				}
+			}
+			a[dest] = tmp[cursor2]
+			dest--
+			cursor2--
+			len2--
+			if len2 == 1 {
+				break outer
+			}
+			count2 = len2 - gallopLeft(a[cursor1], tmp[:len2], len2-1, less)
+			if count2 != 0 {
+				dest -= count2
+				cursor2 -= count2
+				len2 -= count2
+				copy(a[dest+1:dest+1+count2], tmp[cursor2+1:cursor2+1+count2])
+				if len2 <= 1 {
+					break outer
+				}
+			}
+			a[dest] = a[cursor1]
+			dest--
+			cursor1--
+			len1--
+			if len1 == 0 {
+				break outer
+			}
+			minGallop--
+			if count1 < tsMinGallop && count2 < tsMinGallop {
+				break
+			}
+		}
+		if minGallop < 0 {
+			minGallop = 0
+		}
+		minGallop += 2
+	}
+	ts.minGallop = max(minGallop, 1)
+
+	switch {
+	case len2 == 1:
+		dest -= len1
+		cursor1 -= len1
+		copy(a[dest+1:dest+1+len1], a[cursor1+1:cursor1+1+len1])
+		a[dest] = tmp[cursor2]
+	case len2 == 0:
+		panic("lsort: timsort comparison violates its contract")
+	default:
+		copy(a[dest-(len2-1):dest+1], tmp[:len2])
+	}
+}

@@ -1,0 +1,57 @@
+package sample
+
+import (
+	"encoding/binary"
+	"sort"
+	"testing"
+)
+
+// FuzzPartition hammers the investigator's range arithmetic with
+// arbitrary sorted data and splitters: bounds must stay monotone, cover
+// the input, and respect splitter semantics in every case.
+func FuzzPartition(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{3}, true)
+	f.Add([]byte{}, []byte{}, false)
+	f.Fuzz(func(t *testing.T, dataRaw, splitRaw []byte, investigate bool) {
+		data := make([]uint64, len(dataRaw)/8)
+		for i := range data {
+			data[i] = binary.LittleEndian.Uint64(dataRaw[i*8:])
+		}
+		sort.Slice(data, func(i, j int) bool { return data[i] < data[j] })
+		splitters := make([]uint64, 0, len(splitRaw))
+		for _, b := range splitRaw {
+			if len(splitters) >= 24 {
+				break
+			}
+			splitters = append(splitters, uint64(b))
+		}
+		sort.Slice(splitters, func(i, j int) bool { return splitters[i] < splitters[j] })
+
+		r := Partition(data, splitters, lessU64, greaterU64, investigate)
+		if r.Bounds[0] != 0 || r.Bounds[len(r.Bounds)-1] != len(data) {
+			t.Fatalf("bounds do not cover input: %v", r.Bounds)
+		}
+		if r.NumDests() != len(splitters)+1 {
+			t.Fatalf("dest count %d, want %d", r.NumDests(), len(splitters)+1)
+		}
+		total := 0
+		for d := 0; d < r.NumDests(); d++ {
+			lo, hi := r.Range(d)
+			if lo > hi {
+				t.Fatalf("negative range at %d: %v", d, r.Bounds)
+			}
+			total += hi - lo
+			// Everything in bucket d must be <= splitters[d].
+			if d < len(splitters) {
+				for i := lo; i < hi; i++ {
+					if data[i] > splitters[d] {
+						t.Fatalf("bucket %d holds %d > splitter %d", d, data[i], splitters[d])
+					}
+				}
+			}
+		}
+		if total != len(data) {
+			t.Fatalf("ranges cover %d of %d elements", total, len(data))
+		}
+	})
+}

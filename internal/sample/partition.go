@@ -1,0 +1,112 @@
+package sample
+
+import "pgxsort/internal/lsort"
+
+// Ranges describes how one processor's sorted local data is cut into p
+// contiguous ranges, one per destination processor: destination d receives
+// data[Bounds[d]:Bounds[d+1]]. Because the local data is sorted and the
+// ranges are contiguous and ordered, any such cut preserves global order.
+type Ranges struct {
+	Bounds []int // length p+1; Bounds[0]=0, Bounds[p]=len(data)
+}
+
+// Range returns the half-open local interval destined for processor d.
+func (r Ranges) Range(d int) (lo, hi int) { return r.Bounds[d], r.Bounds[d+1] }
+
+// Counts returns the number of elements destined for each processor.
+func (r Ranges) Counts() []int {
+	out := make([]int, len(r.Bounds)-1)
+	for i := range out {
+		out[i] = r.Bounds[i+1] - r.Bounds[i]
+	}
+	return out
+}
+
+// NumDests returns the number of destination processors.
+func (r Ranges) NumDests() int { return len(r.Bounds) - 1 }
+
+// Partition implements step 4 of the pipeline: binary search each splitter
+// on the locally sorted data to find the range of data to send to each
+// destination (Figure 3a).
+//
+// data holds locally sorted elements (e.g. entries carrying provenance)
+// while splitters hold bare keys; lessSS orders splitters against each
+// other and elemGreaterS reports whether an element's key is strictly
+// greater than a splitter.
+//
+// When investigate is true the paper's investigator is applied (Figure 3c):
+// binary search runs once per *distinct* splitter value, and the range
+// determined for a group of g duplicated splitters is divided equally
+// among the group's g destinations instead of all landing on the first one
+// (Figure 3b). This is what keeps the workload balanced on datasets with
+// many duplicated entries.
+func Partition[E, S any](data []E, splitters []S, lessSS func(a, b S) bool, elemGreaterS func(e E, s S) bool, investigate bool) Ranges {
+	p := len(splitters) + 1
+	bounds := make([]int, p+1)
+	bounds[p] = len(data)
+	eq := func(a, b S) bool { return !lessSS(a, b) && !lessSS(b, a) }
+
+	j := 0
+	prev := 0
+	for j < p-1 {
+		// Extend the group of splitters equal to splitters[j].
+		group := j
+		for group+1 < p-1 && eq(splitters[group+1], splitters[j]) {
+			group++
+		}
+		g := group - j + 1
+		// One binary search per distinct splitter value: the end of the
+		// data destined for the whole group is the first element greater
+		// than the splitter.
+		hi := lsort.UpperBound(data, splitters[j], elemGreaterS)
+		if hi < prev {
+			hi = prev // splitters must be non-decreasing; guard anyway
+		}
+		if g == 1 || !investigate {
+			// Naive assignment: everything up to hi goes to the first
+			// destination of the group, later group members get nothing.
+			bounds[j+1] = hi
+			for t := 2; t <= g; t++ {
+				bounds[j+t] = hi
+			}
+		} else {
+			// Investigator: divide [prev, hi) equally among the g
+			// destinations of the duplicated splitter group.
+			span := hi - prev
+			for t := 1; t <= g; t++ {
+				bounds[j+t] = prev + t*span/g
+			}
+		}
+		prev = bounds[group+1]
+		j = group + 1
+	}
+	// Destination p-1 implicitly receives [prev, n).
+	return Ranges{Bounds: bounds}
+}
+
+// MaxMinCounts reports the largest and smallest destination loads implied
+// by summing each processor's ranges; used by the Figure 10 harness and by
+// tests asserting investigator balance.
+func MaxMinCounts(all []Ranges) (maxCount, minCount int) {
+	if len(all) == 0 {
+		return 0, 0
+	}
+	p := all[0].NumDests()
+	totals := make([]int, p)
+	for _, r := range all {
+		for d := 0; d < p; d++ {
+			lo, hi := r.Range(d)
+			totals[d] += hi - lo
+		}
+	}
+	maxCount, minCount = totals[0], totals[0]
+	for _, t := range totals[1:] {
+		if t > maxCount {
+			maxCount = t
+		}
+		if t < minCount {
+			minCount = t
+		}
+	}
+	return maxCount, minCount
+}

@@ -1,0 +1,83 @@
+// Package sample implements the sampling, splitter-selection and
+// range-partitioning steps of the paper's distributed sample sort
+// (steps 2-4 of §IV), including the buffer-sized sample count rule of
+// §IV-B and the investigator of Figure 3 that keeps partitions balanced
+// when splitters are duplicated.
+package sample
+
+import "pgxsort/internal/lsort"
+
+// DefaultBufferBytes is PGX.D's read-buffer size: each processor sends
+// exactly one buffer (256KB / p) of samples to the master (§IV-B).
+const DefaultBufferBytes = 256 * 1024
+
+// Count computes the number of samples a single processor sends to the
+// master: factor * bufferBytes / (p * entrySize), the paper's X when
+// factor == 1 (Figure 9 sweeps factor over 0.004..1.4). The count is
+// clamped to [1, localN].
+func Count(bufferBytes, p, entrySize int, factor float64, localN int) int {
+	if localN <= 0 {
+		return 0
+	}
+	if p < 1 {
+		p = 1
+	}
+	if entrySize < 1 {
+		entrySize = 1
+	}
+	c := int(factor * float64(bufferBytes) / float64(p*entrySize))
+	if c < 1 {
+		c = 1
+	}
+	if c > localN {
+		c = localN
+	}
+	return c
+}
+
+// Regular picks s regularly spaced samples from sorted local data
+// (positions (i+1)*n/(s+1), the classic regular-sampling rule from
+// parallel sorting by regular sampling). The returned slice is sorted
+// because the input is.
+func Regular[E any](sorted []E, s int) []E {
+	n := len(sorted)
+	if n == 0 || s <= 0 {
+		return nil
+	}
+	if s > n {
+		s = n
+	}
+	out := make([]E, s)
+	for i := 0; i < s; i++ {
+		out[i] = sorted[(i+1)*n/(s+1)]
+	}
+	return out
+}
+
+// SelectSplitters merges the per-processor sample runs (each sorted) and
+// picks p-1 final splitters at regular positions, exactly what the master
+// does in step 3. The merge uses the balanced merging handler so the
+// master-side cost matches the paper's implementation.
+func SelectSplitters[E any](sampleRuns [][]E, p int, less func(a, b E) bool) []E {
+	merged := lsort.MergeRuns(sampleRuns, less, false)
+	return SplittersFromSorted(merged, p)
+}
+
+// SplittersFromSorted picks p-1 splitters at regular positions from an
+// already sorted pool of samples. With fewer samples than p-1, samples are
+// reused (duplicated splitters), which the investigator then handles.
+func SplittersFromSorted[E any](sorted []E, p int) []E {
+	if p <= 1 || len(sorted) == 0 {
+		return nil
+	}
+	out := make([]E, p-1)
+	n := len(sorted)
+	for j := 1; j < p; j++ {
+		idx := j * n / p
+		if idx >= n {
+			idx = n - 1
+		}
+		out[j-1] = sorted[idx]
+	}
+	return out
+}

@@ -1,0 +1,335 @@
+package sample
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pgxsort/internal/dist"
+	"pgxsort/internal/lsort"
+)
+
+func lessU64(a, b uint64) bool    { return a < b }
+func greaterU64(a, b uint64) bool { return a > b }
+
+func TestCount(t *testing.T) {
+	cases := []struct {
+		buffer, p, entry int
+		factor           float64
+		localN           int
+		want             int
+	}{
+		// Paper's X with 8-byte entries and 10 procs: 256KB/(10*8) = 3276.
+		{DefaultBufferBytes, 10, 8, 1, 1 << 20, 3276},
+		// Factor 0.004 of that, floor'd: 13.
+		{DefaultBufferBytes, 10, 8, 0.004, 1 << 20, 13},
+		// Clamped to local size.
+		{DefaultBufferBytes, 2, 8, 1, 100, 100},
+		// Never below 1 sample.
+		{DefaultBufferBytes, 1 << 20, 8, 0.0001, 50, 1},
+		// Empty local data sends nothing.
+		{DefaultBufferBytes, 4, 8, 1, 0, 0},
+		// Degenerate p and entry sizes are clamped.
+		{DefaultBufferBytes, 0, 0, 1, 10, 10},
+	}
+	for _, c := range cases {
+		got := Count(c.buffer, c.p, c.entry, c.factor, c.localN)
+		if got != c.want {
+			t.Errorf("Count(%d,%d,%d,%v,%d) = %d, want %d",
+				c.buffer, c.p, c.entry, c.factor, c.localN, got, c.want)
+		}
+	}
+}
+
+func TestRegular(t *testing.T) {
+	sorted := make([]uint64, 100)
+	for i := range sorted {
+		sorted[i] = uint64(i)
+	}
+	s := Regular(sorted, 9)
+	if len(s) != 9 {
+		t.Fatalf("got %d samples, want 9", len(s))
+	}
+	// Regular positions: (i+1)*100/10 = 10,20,...,90.
+	for i, v := range s {
+		if v != uint64((i+1)*10) {
+			t.Errorf("sample[%d] = %d, want %d", i, v, (i+1)*10)
+		}
+	}
+	if !lsort.IsSorted(s, lessU64) {
+		t.Error("samples not sorted")
+	}
+	if got := Regular(sorted, 0); got != nil {
+		t.Error("zero samples should return nil")
+	}
+	if got := Regular([]uint64{}, 5); got != nil {
+		t.Error("empty input should return nil")
+	}
+	if got := Regular(sorted[:3], 10); len(got) != 3 {
+		t.Errorf("oversampling should clamp to n, got %d", len(got))
+	}
+}
+
+func TestSplittersFromSorted(t *testing.T) {
+	pool := make([]uint64, 1000)
+	for i := range pool {
+		pool[i] = uint64(i)
+	}
+	sp := SplittersFromSorted(pool, 4)
+	if len(sp) != 3 {
+		t.Fatalf("got %d splitters, want 3", len(sp))
+	}
+	want := []uint64{250, 500, 750}
+	for i := range want {
+		if sp[i] != want[i] {
+			t.Errorf("splitter[%d] = %d, want %d", i, sp[i], want[i])
+		}
+	}
+	if got := SplittersFromSorted(pool, 1); got != nil {
+		t.Error("p=1 needs no splitters")
+	}
+	if got := SplittersFromSorted([]uint64{}, 4); got != nil {
+		t.Error("no samples -> no splitters")
+	}
+}
+
+func TestSelectSplitters(t *testing.T) {
+	runs := [][]uint64{
+		{10, 20, 30},
+		{5, 15, 25},
+		{12, 22, 32},
+	}
+	sp := SelectSplitters(runs, 3, lessU64)
+	if len(sp) != 2 {
+		t.Fatalf("got %d splitters, want 2", len(sp))
+	}
+	if !lsort.IsSorted(sp, lessU64) {
+		t.Error("splitters not sorted")
+	}
+	// Merged pool: 5 10 12 15 20 22 25 30 32; positions 3 and 6 -> 15, 25.
+	if sp[0] != 15 || sp[1] != 25 {
+		t.Errorf("splitters = %v, want [15 25]", sp)
+	}
+}
+
+func rangesCover(t *testing.T, r Ranges, n int) {
+	t.Helper()
+	if r.Bounds[0] != 0 {
+		t.Fatalf("first bound = %d, want 0", r.Bounds[0])
+	}
+	if r.Bounds[len(r.Bounds)-1] != n {
+		t.Fatalf("last bound = %d, want %d", r.Bounds[len(r.Bounds)-1], n)
+	}
+	for i := 1; i < len(r.Bounds); i++ {
+		if r.Bounds[i] < r.Bounds[i-1] {
+			t.Fatalf("bounds not monotone at %d: %v", i, r.Bounds)
+		}
+	}
+}
+
+func TestPartitionDistinctSplitters(t *testing.T) {
+	data := make([]uint64, 100)
+	for i := range data {
+		data[i] = uint64(i)
+	}
+	splitters := []uint64{24, 49, 74}
+	for _, inv := range []bool{false, true} {
+		r := Partition(data, splitters, lessU64, greaterU64, inv)
+		rangesCover(t, r, 100)
+		counts := r.Counts()
+		want := []int{25, 25, 25, 25}
+		for i := range want {
+			if counts[i] != want[i] {
+				t.Errorf("investigate=%v: counts = %v, want %v", inv, counts, want)
+			}
+		}
+	}
+}
+
+func TestPartitionRespectsSplitterSemantics(t *testing.T) {
+	// Keys equal to a distinct splitter go to that splitter's bucket.
+	data := []uint64{1, 2, 2, 2, 3, 4}
+	r := Partition(data, []uint64{2, 3}, lessU64, greaterU64, true)
+	counts := r.Counts()
+	// Bucket 0: <=2 -> {1,2,2,2}; bucket 1: (2,3] -> {3}; bucket 2: {4}.
+	if counts[0] != 4 || counts[1] != 1 || counts[2] != 1 {
+		t.Errorf("counts = %v, want [4 1 1]", counts)
+	}
+}
+
+func TestPartitionDuplicatedSplittersNaive(t *testing.T) {
+	// All data equal to the duplicated splitter value: naive search sends
+	// everything to the first destination (Figure 3b).
+	data := make([]uint64, 80)
+	for i := range data {
+		data[i] = 42
+	}
+	splitters := []uint64{42, 42, 42} // p = 4
+	r := Partition(data, splitters, lessU64, greaterU64, false)
+	rangesCover(t, r, 80)
+	counts := r.Counts()
+	if counts[0] != 80 || counts[1] != 0 || counts[2] != 0 || counts[3] != 0 {
+		t.Errorf("naive counts = %v, want [80 0 0 0]", counts)
+	}
+}
+
+func TestPartitionDuplicatedSplittersInvestigator(t *testing.T) {
+	// Same input with the investigator: the range is divided equally
+	// among the duplicated splitters' destinations (Figure 3c).
+	data := make([]uint64, 80)
+	for i := range data {
+		data[i] = 42
+	}
+	splitters := []uint64{42, 42, 42}
+	r := Partition(data, splitters, lessU64, greaterU64, true)
+	rangesCover(t, r, 80)
+	counts := r.Counts()
+	// Destinations 0,1,2 share the run equally (80/3 with integer
+	// division); destination 3 gets the remainder above the splitter
+	// value (nothing).
+	want := []int{26, 27, 27, 0}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("investigator counts = %v, want %v", counts, want)
+		}
+	}
+}
+
+func TestPartitionMixedDuplicates(t *testing.T) {
+	// Data: 10 ones, 40 fives, 10 nines. Splitters 5,5,9 (p=4).
+	data := make([]uint64, 0, 60)
+	for i := 0; i < 10; i++ {
+		data = append(data, 1)
+	}
+	for i := 0; i < 40; i++ {
+		data = append(data, 5)
+	}
+	for i := 0; i < 10; i++ {
+		data = append(data, 9)
+	}
+	r := Partition(data, []uint64{5, 5, 9}, lessU64, greaterU64, true)
+	rangesCover(t, r, 60)
+	counts := r.Counts()
+	// Group {5,5}: range [0,50) divided equally -> 25, 25.
+	// Distinct splitter 9: (5,9] -> 10. Last bucket: nothing above 9.
+	want := []int{25, 25, 10, 0}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("counts = %v, want %v", counts, want)
+		}
+	}
+}
+
+func TestPartitionEmptyData(t *testing.T) {
+	r := Partition([]uint64{}, []uint64{1, 2}, lessU64, greaterU64, true)
+	rangesCover(t, r, 0)
+	for _, c := range r.Counts() {
+		if c != 0 {
+			t.Fatalf("counts on empty data = %v", r.Counts())
+		}
+	}
+}
+
+func TestPartitionNoSplitters(t *testing.T) {
+	data := []uint64{3, 1, 2}
+	r := Partition(data, nil, lessU64, greaterU64, true)
+	if r.NumDests() != 1 {
+		t.Fatalf("p=1 should yield a single range")
+	}
+	if lo, hi := r.Range(0); lo != 0 || hi != 3 {
+		t.Fatalf("single range = [%d,%d), want [0,3)", lo, hi)
+	}
+}
+
+// The paper's Table II scenario: many processors, duplicate-heavy data,
+// aggregated loads must be near-equal with the investigator and grossly
+// unbalanced without it.
+func TestInvestigatorBalancesSkewedData(t *testing.T) {
+	const p = 10
+	const perProc = 20000
+	var locals [][]uint64
+	var samplePool []uint64
+	for proc := 0; proc < p; proc++ {
+		keys := dist.Gen{Kind: dist.RightSkewed, Seed: uint64(100 + proc), Domain: 64}.Keys(perProc)
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		locals = append(locals, keys)
+		samplePool = append(samplePool, Regular(keys, 3276)...)
+	}
+	sort.Slice(samplePool, func(i, j int) bool { return samplePool[i] < samplePool[j] })
+	splitters := SplittersFromSorted(samplePool, p)
+
+	gather := func(inv bool) (int, int) {
+		var all []Ranges
+		for _, l := range locals {
+			all = append(all, Partition(l, splitters, lessU64, greaterU64, inv))
+		}
+		return MaxMinCounts(all)
+	}
+
+	maxInv, minInv := gather(true)
+	maxNaive, _ := gather(false)
+
+	ideal := perProc
+	if maxInv > ideal*115/100 {
+		t.Errorf("investigator max load %d exceeds 1.15x ideal %d", maxInv, ideal)
+	}
+	if minInv < ideal*85/100 {
+		t.Errorf("investigator min load %d below 0.85x ideal %d", minInv, ideal)
+	}
+	if maxNaive < 2*ideal {
+		t.Errorf("naive partitioning should be grossly unbalanced on skewed data, max=%d ideal=%d",
+			maxNaive, ideal)
+	}
+}
+
+// Property: for arbitrary sorted data and sorted splitters, Partition
+// produces monotone bounds covering the input, with and without the
+// investigator, and the investigator never worsens the largest bucket.
+func TestPropertyPartitionWellFormed(t *testing.T) {
+	f := func(raw []uint64, sraw []uint64) bool {
+		if len(sraw) > 16 {
+			sraw = sraw[:16]
+		}
+		data := append([]uint64(nil), raw...)
+		sort.Slice(data, func(i, j int) bool { return data[i] < data[j] })
+		splitters := append([]uint64(nil), sraw...)
+		sort.Slice(splitters, func(i, j int) bool { return splitters[i] < splitters[j] })
+		for _, inv := range []bool{false, true} {
+			r := Partition(data, splitters, lessU64, greaterU64, inv)
+			if r.Bounds[0] != 0 || r.Bounds[len(r.Bounds)-1] != len(data) {
+				return false
+			}
+			for i := 1; i < len(r.Bounds); i++ {
+				if r.Bounds[i] < r.Bounds[i-1] {
+					return false
+				}
+			}
+			// Range contents must respect splitter order: everything in
+			// bucket d is <= splitters[d] (when d < p-1).
+			for d := 0; d < r.NumDests()-1; d++ {
+				lo, hi := r.Range(d)
+				for i := lo; i < hi; i++ {
+					if data[i] > splitters[d] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxMinCounts(t *testing.T) {
+	r1 := Ranges{Bounds: []int{0, 10, 30}} // loads 10, 20
+	r2 := Ranges{Bounds: []int{0, 5, 10}}  // loads 5, 5
+	maxC, minC := MaxMinCounts([]Ranges{r1, r2})
+	if maxC != 25 || minC != 15 {
+		t.Errorf("MaxMinCounts = (%d,%d), want (25,15)", maxC, minC)
+	}
+	if maxC, minC = MaxMinCounts(nil); maxC != 0 || minC != 0 {
+		t.Error("empty input should report zeros")
+	}
+}

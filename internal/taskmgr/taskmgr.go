@@ -1,0 +1,115 @@
+// Package taskmgr is the analogue of PGX.D's task manager (§III): each
+// simulated processor owns a fixed set of worker threads (goroutines) that
+// pull tasks from a per-step task list. Parallel steps enqueue a list of
+// tasks; workers grab and execute them until the list drains, which is how
+// the engine parallelizes local sorting, merging rounds and chunked sends
+// without spawning unbounded goroutines.
+package taskmgr
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed-size worker pool. The zero value is not usable; create
+// pools with NewPool.
+type Pool struct {
+	workers   int
+	tasks     chan func()
+	wg        sync.WaitGroup // workers
+	closed    atomic.Bool
+	executed  atomic.Int64
+	closeOnce sync.Once
+}
+
+// NewPool starts a pool with the given number of worker goroutines
+// (clamped to at least 1). Workers live until Close.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{
+		workers: workers,
+		tasks:   make(chan func(), 4*workers),
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for task := range p.tasks {
+				task()
+				p.executed.Add(1)
+			}
+		}()
+	}
+	return p
+}
+
+// Workers reports the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Executed reports how many tasks have completed since the pool started.
+func (p *Pool) Executed() int64 { return p.executed.Load() }
+
+// Submit enqueues a task for asynchronous execution. It must not be
+// called after Close. The done callback pattern is intentionally absent:
+// use RunAll or ParallelFor for structured parallel steps.
+func (p *Pool) Submit(task func()) {
+	p.tasks <- task
+}
+
+// RunAll executes the tasks of one parallel step on the pool and blocks
+// until every task has finished, mirroring the task-list-per-step model.
+func (p *Pool) RunAll(tasks ...func()) {
+	if len(tasks) == 0 {
+		return
+	}
+	if len(tasks) == 1 {
+		// No point bouncing a single task through the queue.
+		tasks[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(tasks))
+	for _, t := range tasks {
+		t := t
+		p.tasks <- func() {
+			defer wg.Done()
+			t()
+		}
+	}
+	wg.Wait()
+}
+
+// ParallelFor splits [0, n) into one contiguous chunk per worker (PGX.D's
+// edge-chunking strategy applied to index ranges) and runs fn(lo, hi) for
+// each non-empty chunk, blocking until all complete.
+func (p *Pool) ParallelFor(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	chunks := p.workers
+	if chunks > n {
+		chunks = n
+	}
+	tasks := make([]func(), 0, chunks)
+	for c := 0; c < chunks; c++ {
+		lo := c * n / chunks
+		hi := (c + 1) * n / chunks
+		if lo == hi {
+			continue
+		}
+		tasks = append(tasks, func() { fn(lo, hi) })
+	}
+	p.RunAll(tasks...)
+}
+
+// Close stops the workers after draining already-submitted tasks.
+// It is idempotent.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() {
+		p.closed.Store(true)
+		close(p.tasks)
+		p.wg.Wait()
+	})
+}

@@ -1,0 +1,146 @@
+package taskmgr
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunAllExecutesEverything(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var count atomic.Int64
+	tasks := make([]func(), 100)
+	for i := range tasks {
+		tasks[i] = func() { count.Add(1) }
+	}
+	p.RunAll(tasks...)
+	if count.Load() != 100 {
+		t.Fatalf("executed %d tasks, want 100", count.Load())
+	}
+}
+
+func TestRunAllEmptyAndSingle(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	p.RunAll() // must not hang
+	ran := false
+	p.RunAll(func() { ran = true })
+	if !ran {
+		t.Fatal("single task not run")
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, n := range []int{0, 1, 3, 4, 5, 100, 1001} {
+		covered := make([]atomic.Int32, max(n, 1))
+		p.ParallelFor(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				covered[i].Add(1)
+			}
+		})
+		for i := 0; i < n; i++ {
+			if covered[i].Load() != 1 {
+				t.Fatalf("n=%d: index %d covered %d times", n, i, covered[i].Load())
+			}
+		}
+	}
+}
+
+func TestParallelForChunkCount(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var chunks atomic.Int32
+	p.ParallelFor(1000, func(lo, hi int) { chunks.Add(1) })
+	if got := chunks.Load(); got != 4 {
+		t.Fatalf("got %d chunks, want 4 (one per worker)", got)
+	}
+	// Fewer items than workers: one chunk per item.
+	chunks.Store(0)
+	p.ParallelFor(2, func(lo, hi int) {
+		chunks.Add(1)
+		if hi-lo != 1 {
+			t.Errorf("chunk [%d,%d) should be a single item", lo, hi)
+		}
+	})
+	if got := chunks.Load(); got != 2 {
+		t.Fatalf("got %d chunks, want 2", got)
+	}
+}
+
+func TestSubmitAsync(t *testing.T) {
+	p := NewPool(2)
+	var wg sync.WaitGroup
+	var count atomic.Int64
+	wg.Add(50)
+	for i := 0; i < 50; i++ {
+		p.Submit(func() {
+			count.Add(1)
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	if count.Load() != 50 {
+		t.Fatalf("executed %d, want 50", count.Load())
+	}
+	p.Close()
+	if p.Executed() != 50 {
+		t.Fatalf("Executed() = %d, want 50", p.Executed())
+	}
+}
+
+func TestPoolParallelism(t *testing.T) {
+	// With w workers, w tasks that rendezvous must all run concurrently.
+	const w = 4
+	p := NewPool(w)
+	defer p.Close()
+	var barrier sync.WaitGroup
+	barrier.Add(w)
+	tasks := make([]func(), w)
+	for i := range tasks {
+		tasks[i] = func() {
+			barrier.Done()
+			barrier.Wait() // deadlocks unless all w run at once
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		p.RunAll(tasks...)
+		close(done)
+	}()
+	<-done
+}
+
+func TestWorkersClamped(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if p.Workers() != 1 {
+		t.Fatalf("Workers() = %d, want 1", p.Workers())
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close() // must not panic
+}
+
+func TestNestedRunAll(t *testing.T) {
+	// RunAll from within a task must not deadlock even when all workers
+	// are busy, because RunAll only waits on completion, and queued tasks
+	// are picked up as workers finish.
+	p := NewPool(2)
+	defer p.Close()
+	var count atomic.Int64
+	outer := make([]func(), 2)
+	for i := range outer {
+		outer[i] = func() { count.Add(1) }
+	}
+	p.RunAll(func() { count.Add(1) }, func() { count.Add(1) })
+	p.RunAll(outer...)
+	if count.Load() != 4 {
+		t.Fatalf("count = %d, want 4", count.Load())
+	}
+}

@@ -1,0 +1,53 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"pgxsort/internal/comm"
+)
+
+func TestJitterPreservesFIFOAndPayloads(t *testing.T) {
+	inner := NewChan[uint64](2, comm.U64Codec{})
+	net := WithJitter(inner, 500*time.Microsecond, 7)
+	defer net.Close()
+	if net.Name() != "chan+jitter" {
+		t.Fatalf("name = %s", net.Name())
+	}
+	if net.P() != 2 {
+		t.Fatalf("P = %d", net.P())
+	}
+	a, b := net.Endpoint(0), net.Endpoint(1)
+	const msgs = 50
+	go func() {
+		for i := 0; i < msgs; i++ {
+			a.Send(1, comm.Message[uint64]{Kind: comm.KData, Keys: []uint64{uint64(i)}})
+		}
+	}()
+	for i := 0; i < msgs; i++ {
+		m, ok := b.Recv()
+		if !ok {
+			t.Fatal("recv failed")
+		}
+		if m.Keys[0] != uint64(i) {
+			t.Fatalf("FIFO violated under jitter: got %d want %d", m.Keys[0], i)
+		}
+	}
+	if a.Stats().MsgsSent() != msgs {
+		t.Fatalf("stats not forwarded: %d", a.Stats().MsgsSent())
+	}
+	if a.ID() != 0 || b.P() != 2 {
+		t.Fatal("endpoint identity not forwarded")
+	}
+}
+
+func TestJitterZeroDelayPassThrough(t *testing.T) {
+	net := WithJitter(NewChan[uint64](2, comm.U64Codec{}), 0, 1)
+	defer net.Close()
+	if err := net.Endpoint(0).Send(1, comm.Message[uint64]{Kind: comm.KControl, Ints: []int64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := net.Endpoint(1).Recv(); !ok {
+		t.Fatal("recv failed")
+	}
+}

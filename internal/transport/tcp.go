@@ -1,0 +1,280 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"pgxsort/internal/comm"
+)
+
+// tcpNetwork is a full mesh of loopback TCP connections. Each ordered pair
+// (i -> j) owns one simplex connection carrying framed messages; a
+// dedicated reader goroutine per connection feeds the destination inbox.
+type tcpNetwork[K any] struct {
+	p     int
+	codec comm.Codec[K]
+	eps   []*tcpEndpoint[K]
+
+	conns   [][]net.Conn // conns[i][j]: write side of i->j (nil when i==j)
+	writers [][]*bufio.Writer
+	wmu     [][]*sync.Mutex
+
+	listeners []net.Listener
+	readersWG sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
+}
+
+type tcpEndpoint[K any] struct {
+	net   *tcpNetwork[K]
+	id    int
+	inbox chan comm.Message[K]
+	stats comm.Stats
+}
+
+// frame header layout (little endian):
+//
+//	kind     uint8
+//	src      int32
+//	sortID   int32
+//	nEntries int32
+//	nKeys    int32
+//	nInts    int32
+const headerBytes = 1 + 4*5
+
+// writeBufBytes matches the paper's 256KB communication buffer size.
+const writeBufBytes = 256 * 1024
+
+// NewTCP builds a loopback TCP network of p endpoints using codec for key
+// serialization.
+func NewTCP[K any](p int, codec comm.Codec[K]) (Network[K], error) {
+	if codec == nil {
+		return nil, fmt.Errorf("transport: tcp requires a codec")
+	}
+	n := &tcpNetwork[K]{p: p, codec: codec}
+	n.eps = make([]*tcpEndpoint[K], p)
+	for i := range n.eps {
+		n.eps[i] = &tcpEndpoint[K]{net: n, id: i, inbox: make(chan comm.Message[K], inboxDepth)}
+	}
+	n.conns = make([][]net.Conn, p)
+	n.writers = make([][]*bufio.Writer, p)
+	n.wmu = make([][]*sync.Mutex, p)
+	for i := 0; i < p; i++ {
+		n.conns[i] = make([]net.Conn, p)
+		n.writers[i] = make([]*bufio.Writer, p)
+		n.wmu[i] = make([]*sync.Mutex, p)
+		for j := 0; j < p; j++ {
+			n.wmu[i][j] = &sync.Mutex{}
+		}
+	}
+
+	n.listeners = make([]net.Listener, p)
+	for i := 0; i < p; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			n.Close()
+			return nil, fmt.Errorf("transport: listen node %d: %w", i, err)
+		}
+		n.listeners[i] = l
+	}
+
+	// Accept loops: each incoming connection announces its source id in a
+	// 4-byte handshake, then feeds the local inbox.
+	var acceptWG sync.WaitGroup
+	acceptErr := make(chan error, p)
+	for j := 0; j < p; j++ {
+		acceptWG.Add(1)
+		go func(j int) {
+			defer acceptWG.Done()
+			for k := 0; k < p-1; k++ {
+				conn, err := n.listeners[j].Accept()
+				if err != nil {
+					acceptErr <- fmt.Errorf("transport: accept node %d: %w", j, err)
+					return
+				}
+				var hs [4]byte
+				if _, err := io.ReadFull(conn, hs[:]); err != nil {
+					acceptErr <- fmt.Errorf("transport: handshake node %d: %w", j, err)
+					return
+				}
+				src := int(binary.LittleEndian.Uint32(hs[:]))
+				n.readersWG.Add(1)
+				go n.readLoop(conn, src, j)
+			}
+		}(j)
+	}
+
+	// Dial the full mesh.
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if i == j {
+				continue
+			}
+			conn, err := net.Dial("tcp", n.listeners[j].Addr().String())
+			if err != nil {
+				n.Close()
+				return nil, fmt.Errorf("transport: dial %d->%d: %w", i, j, err)
+			}
+			var hs [4]byte
+			binary.LittleEndian.PutUint32(hs[:], uint32(i))
+			if _, err := conn.Write(hs[:]); err != nil {
+				n.Close()
+				return nil, fmt.Errorf("transport: handshake %d->%d: %w", i, j, err)
+			}
+			n.conns[i][j] = conn
+			n.writers[i][j] = bufio.NewWriterSize(conn, writeBufBytes)
+		}
+	}
+	acceptWG.Wait()
+	select {
+	case err := <-acceptErr:
+		n.Close()
+		return nil, err
+	default:
+	}
+	return n, nil
+}
+
+func (n *tcpNetwork[K]) P() int                     { return n.p }
+func (n *tcpNetwork[K]) Endpoint(i int) Endpoint[K] { return n.eps[i] }
+func (n *tcpNetwork[K]) Name() string               { return KindTCP }
+
+// Close shuts the mesh down: closing the write sides makes every reader
+// hit EOF, after which the inboxes are closed.
+func (n *tcpNetwork[K]) Close() error {
+	n.closeOnce.Do(func() {
+		for i := range n.conns {
+			for j := range n.conns[i] {
+				if c := n.conns[i][j]; c != nil {
+					n.wmu[i][j].Lock()
+					if w := n.writers[i][j]; w != nil {
+						w.Flush()
+					}
+					c.Close()
+					n.wmu[i][j].Unlock()
+				}
+			}
+		}
+		for _, l := range n.listeners {
+			if l != nil {
+				l.Close()
+			}
+		}
+		n.readersWG.Wait()
+		for _, ep := range n.eps {
+			close(ep.inbox)
+		}
+	})
+	return n.closeErr
+}
+
+// readLoop decodes frames arriving from src destined to endpoint dst.
+func (n *tcpNetwork[K]) readLoop(conn net.Conn, src, dst int) {
+	defer n.readersWG.Done()
+	r := bufio.NewReaderSize(conn, writeBufBytes)
+	ks := n.codec.KeySize()
+	ep := n.eps[dst]
+	for {
+		var hdr [headerBytes]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return // EOF on shutdown
+		}
+		m := comm.Message[K]{
+			Kind:   comm.Kind(hdr[0]),
+			Src:    int(int32(binary.LittleEndian.Uint32(hdr[1:]))),
+			SortID: int32(binary.LittleEndian.Uint32(hdr[5:])),
+			Dst:    dst,
+		}
+		nEntries := int(int32(binary.LittleEndian.Uint32(hdr[9:])))
+		nKeys := int(int32(binary.LittleEndian.Uint32(hdr[13:])))
+		nInts := int(int32(binary.LittleEndian.Uint32(hdr[17:])))
+		payload := nEntries*(ks+8) + nKeys*ks + nInts*8
+		buf := make([]byte, payload)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return
+		}
+		rest := buf
+		var err error
+		if nEntries > 0 {
+			m.Entries, rest, err = comm.DecodeEntries(rest, nEntries, n.codec)
+			if err != nil {
+				return
+			}
+		}
+		if nKeys > 0 {
+			m.Keys, rest, err = comm.DecodeKeys(rest, nKeys, n.codec)
+			if err != nil {
+				return
+			}
+		}
+		if nInts > 0 {
+			m.Ints, _, err = comm.DecodeInts(rest, nInts)
+			if err != nil {
+				return
+			}
+		}
+		ep.stats.CountRecv(m.LogicalBytes(ks))
+		ep.inbox <- m
+	}
+}
+
+func (e *tcpEndpoint[K]) ID() int            { return e.id }
+func (e *tcpEndpoint[K]) P() int             { return e.net.p }
+func (e *tcpEndpoint[K]) Stats() *comm.Stats { return &e.stats }
+
+func (e *tcpEndpoint[K]) Send(dst int, m comm.Message[K]) error {
+	n := e.net
+	if dst < 0 || dst >= n.p {
+		return fmt.Errorf("transport: destination %d out of range", dst)
+	}
+	m.Src = e.id
+	m.Dst = dst
+	logical := m.LogicalBytes(n.codec.KeySize())
+	if dst == e.id {
+		// Loopback without a socket, as PGX.D keeps local writes local.
+		e.stats.CountSend(m.Kind, logical)
+		e.stats.CountRecv(logical)
+		e.inbox <- m
+		return nil
+	}
+	var hdr [headerBytes]byte
+	hdr[0] = byte(m.Kind)
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(m.Src))
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(m.SortID))
+	binary.LittleEndian.PutUint32(hdr[9:], uint32(len(m.Entries)))
+	binary.LittleEndian.PutUint32(hdr[13:], uint32(len(m.Keys)))
+	binary.LittleEndian.PutUint32(hdr[17:], uint32(len(m.Ints)))
+
+	payload := make([]byte, 0, logical)
+	payload = comm.EncodeEntries(payload, m.Entries, n.codec)
+	payload = comm.EncodeKeys(payload, m.Keys, n.codec)
+	payload = comm.EncodeInts(payload, m.Ints)
+
+	mu := n.wmu[e.id][dst]
+	mu.Lock()
+	defer mu.Unlock()
+	w := n.writers[e.id][dst]
+	if w == nil {
+		return errClosed
+	}
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	e.stats.CountSend(m.Kind, logical)
+	return nil
+}
+
+func (e *tcpEndpoint[K]) Recv() (comm.Message[K], bool) {
+	m, ok := <-e.inbox
+	return m, ok
+}

@@ -1,0 +1,66 @@
+// Package transport moves comm.Messages between the simulated processors.
+//
+// Two implementations share one contract:
+//
+//   - Chan: in-process channels, zero-copy. This is the analogue of
+//     PGX.D's InfiniBand path, where buffers move without serialization.
+//   - TCP: real loopback sockets with framed, codec-serialized messages.
+//     This exercises the full marshalling path and gives the engine real
+//     network backpressure.
+//
+// Both preserve per-(src,dst) FIFO order and count identical logical
+// traffic, so experiments can switch transports without changing the
+// measured communication volume (only its cost).
+package transport
+
+import (
+	"fmt"
+
+	"pgxsort/internal/comm"
+)
+
+// Endpoint is one processor's attachment to the network.
+type Endpoint[K any] interface {
+	// ID returns this endpoint's processor id in [0, P).
+	ID() int
+	// P returns the number of processors on the network.
+	P() int
+	// Send delivers m to processor dst. It may block for backpressure.
+	// The message's Src/Dst fields are stamped by the transport.
+	Send(dst int, m comm.Message[K]) error
+	// Recv blocks until a message arrives; ok is false once the network
+	// is closed and the inbox is drained.
+	Recv() (m comm.Message[K], ok bool)
+	// Stats returns this endpoint's traffic counters.
+	Stats() *comm.Stats
+}
+
+// Network is a closed group of P endpoints.
+type Network[K any] interface {
+	P() int
+	Endpoint(i int) Endpoint[K]
+	// Close tears the network down. Pending Recv calls unblock with
+	// ok=false after the inbox drains.
+	Close() error
+	// Name identifies the implementation ("chan" or "tcp").
+	Name() string
+}
+
+// KindChan and KindTCP select a Network implementation.
+const (
+	KindChan = "chan"
+	KindTCP  = "tcp"
+)
+
+// New builds a network of p endpoints. codec is required for tcp and used
+// only for byte accounting by chan.
+func New[K any](kind string, p int, codec comm.Codec[K]) (Network[K], error) {
+	switch kind {
+	case KindChan, "":
+		return NewChan[K](p, codec), nil
+	case KindTCP:
+		return NewTCP[K](p, codec)
+	default:
+		return nil, fmt.Errorf("transport: unknown kind %q", kind)
+	}
+}

@@ -1,0 +1,365 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pgxsort/internal/comm"
+)
+
+// newNets builds one network per implementation for conformance tests.
+func newNets(t *testing.T, p int) map[string]Network[uint64] {
+	t.Helper()
+	nets := map[string]Network[uint64]{}
+	nets[KindChan] = NewChan[uint64](p, comm.U64Codec{})
+	tcp, err := NewTCP[uint64](p, comm.U64Codec{})
+	if err != nil {
+		t.Fatalf("NewTCP: %v", err)
+	}
+	nets[KindTCP] = tcp
+	return nets
+}
+
+func TestNewSelectsImplementation(t *testing.T) {
+	n, err := New[uint64](KindChan, 2, comm.U64Codec{})
+	if err != nil || n.Name() != KindChan {
+		t.Fatalf("New(chan) = %v, %v", n, err)
+	}
+	n.Close()
+	n, err = New[uint64]("", 2, comm.U64Codec{})
+	if err != nil || n.Name() != KindChan {
+		t.Fatalf("New(default) = %v, %v", n, err)
+	}
+	n.Close()
+	n, err = New[uint64](KindTCP, 2, comm.U64Codec{})
+	if err != nil || n.Name() != KindTCP {
+		t.Fatalf("New(tcp) = %v, %v", n, err)
+	}
+	n.Close()
+	if _, err := New[uint64]("bogus", 2, comm.U64Codec{}); err == nil {
+		t.Fatal("New accepted bogus kind")
+	}
+}
+
+func TestPointToPoint(t *testing.T) {
+	for name, net := range newNets(t, 2) {
+		t.Run(name, func(t *testing.T) {
+			defer net.Close()
+			a, b := net.Endpoint(0), net.Endpoint(1)
+			want := comm.Message[uint64]{
+				Kind:    comm.KData,
+				SortID:  7,
+				Entries: []comm.Entry[uint64]{{Key: 10, Proc: 1, Index: 2}, {Key: 20, Proc: 3, Index: 4}},
+			}
+			if err := a.Send(1, want); err != nil {
+				t.Fatalf("Send: %v", err)
+			}
+			got, ok := b.Recv()
+			if !ok {
+				t.Fatal("Recv failed")
+			}
+			if got.Src != 0 || got.Dst != 1 || got.Kind != comm.KData || got.SortID != 7 {
+				t.Fatalf("header mismatch: %+v", got)
+			}
+			if len(got.Entries) != 2 || got.Entries[0] != want.Entries[0] || got.Entries[1] != want.Entries[1] {
+				t.Fatalf("entries mismatch: %+v", got.Entries)
+			}
+		})
+	}
+}
+
+func TestAllPayloadKinds(t *testing.T) {
+	for name, net := range newNets(t, 2) {
+		t.Run(name, func(t *testing.T) {
+			defer net.Close()
+			a, b := net.Endpoint(0), net.Endpoint(1)
+			msgs := []comm.Message[uint64]{
+				{Kind: comm.KSamples, Keys: []uint64{1, 2, 3}},
+				{Kind: comm.KSplitters, Keys: []uint64{9}},
+				{Kind: comm.KRangeMeta, Ints: []int64{4, -5, 6}},
+				{Kind: comm.KControl, Ints: []int64{1}},
+				{Kind: comm.KData, Entries: []comm.Entry[uint64]{{Key: 42, Proc: 0, Index: 9}}},
+			}
+			for _, m := range msgs {
+				if err := a.Send(1, m); err != nil {
+					t.Fatalf("Send(%v): %v", m.Kind, err)
+				}
+			}
+			for _, want := range msgs {
+				got, ok := b.Recv()
+				if !ok {
+					t.Fatalf("Recv(%v) failed", want.Kind)
+				}
+				if got.Kind != want.Kind {
+					t.Fatalf("kind order violated: got %v want %v", got.Kind, want.Kind)
+				}
+				if len(got.Keys) != len(want.Keys) || len(got.Ints) != len(want.Ints) ||
+					len(got.Entries) != len(want.Entries) {
+					t.Fatalf("payload shape mismatch: %+v vs %+v", got, want)
+				}
+				for i := range want.Keys {
+					if got.Keys[i] != want.Keys[i] {
+						t.Fatalf("keys mismatch")
+					}
+				}
+				for i := range want.Ints {
+					if got.Ints[i] != want.Ints[i] {
+						t.Fatalf("ints mismatch")
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestFIFOPerPair(t *testing.T) {
+	const msgs = 500
+	for name, net := range newNets(t, 3) {
+		t.Run(name, func(t *testing.T) {
+			defer net.Close()
+			var wg sync.WaitGroup
+			// Senders 0 and 1 both stream to 2; per-sender order must hold.
+			for src := 0; src < 2; src++ {
+				wg.Add(1)
+				go func(src int) {
+					defer wg.Done()
+					ep := net.Endpoint(src)
+					for i := 0; i < msgs; i++ {
+						m := comm.Message[uint64]{Kind: comm.KData,
+							Entries: []comm.Entry[uint64]{{Key: uint64(i), Proc: uint32(src)}}}
+						if err := ep.Send(2, m); err != nil {
+							t.Errorf("send: %v", err)
+							return
+						}
+					}
+				}(src)
+			}
+			next := map[int]uint64{0: 0, 1: 0}
+			rx := net.Endpoint(2)
+			for got := 0; got < 2*msgs; got++ {
+				m, ok := rx.Recv()
+				if !ok {
+					t.Fatal("Recv failed early")
+				}
+				key := m.Entries[0].Key
+				if key != next[m.Src] {
+					t.Fatalf("FIFO violated for src %d: got %d want %d", m.Src, key, next[m.Src])
+				}
+				next[m.Src]++
+			}
+			wg.Wait()
+		})
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	const p = 4
+	const per = 100
+	for name, net := range newNets(t, p) {
+		t.Run(name, func(t *testing.T) {
+			defer net.Close()
+			var wg sync.WaitGroup
+			recvCounts := make([]map[int]int, p)
+			for i := 0; i < p; i++ {
+				recvCounts[i] = map[int]int{}
+			}
+			for i := 0; i < p; i++ {
+				wg.Add(2)
+				go func(i int) { // sender
+					defer wg.Done()
+					ep := net.Endpoint(i)
+					for j := 0; j < p; j++ {
+						if j == i {
+							continue
+						}
+						for k := 0; k < per; k++ {
+							m := comm.Message[uint64]{Kind: comm.KData,
+								Entries: []comm.Entry[uint64]{{Key: uint64(k)}}}
+							if err := ep.Send(j, m); err != nil {
+								t.Errorf("send %d->%d: %v", i, j, err)
+								return
+							}
+						}
+					}
+				}(i)
+				go func(i int) { // receiver
+					defer wg.Done()
+					ep := net.Endpoint(i)
+					for n := 0; n < (p-1)*per; n++ {
+						m, ok := ep.Recv()
+						if !ok {
+							t.Errorf("recv %d failed early", i)
+							return
+						}
+						recvCounts[i][m.Src]++
+					}
+				}(i)
+			}
+			wg.Wait()
+			for i := 0; i < p; i++ {
+				for j := 0; j < p; j++ {
+					if i == j {
+						continue
+					}
+					if recvCounts[i][j] != per {
+						t.Errorf("node %d received %d from %d, want %d", i, recvCounts[i][j], j, per)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestStatsParityAcrossTransports(t *testing.T) {
+	counts := map[string][2]int64{}
+	for name, net := range newNets(t, 2) {
+		a, b := net.Endpoint(0), net.Endpoint(1)
+		m := comm.Message[uint64]{Kind: comm.KData,
+			Entries: make([]comm.Entry[uint64], 100)}
+		if err := a.Send(1, m); err != nil {
+			t.Fatalf("%s send: %v", name, err)
+		}
+		if _, ok := b.Recv(); !ok {
+			t.Fatalf("%s recv", name)
+		}
+		counts[name] = [2]int64{a.Stats().BytesSent(), b.Stats().BytesRecv()}
+		net.Close()
+	}
+	if counts[KindChan] != counts[KindTCP] {
+		t.Fatalf("logical byte accounting differs: chan=%v tcp=%v",
+			counts[KindChan], counts[KindTCP])
+	}
+	// 100 entries * (8-byte key + 8-byte origin) = 1600 bytes.
+	if counts[KindChan][0] != 1600 {
+		t.Fatalf("bytes sent = %d, want 1600", counts[KindChan][0])
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	for name, net := range newNets(t, 2) {
+		t.Run(name, func(t *testing.T) {
+			defer net.Close()
+			a := net.Endpoint(0)
+			if err := a.Send(0, comm.Message[uint64]{Kind: comm.KControl, Ints: []int64{9}}); err != nil {
+				t.Fatalf("self send: %v", err)
+			}
+			m, ok := a.Recv()
+			if !ok || m.Ints[0] != 9 || m.Src != 0 {
+				t.Fatalf("self recv = %+v, %v", m, ok)
+			}
+		})
+	}
+}
+
+func TestSendOutOfRange(t *testing.T) {
+	for name, net := range newNets(t, 2) {
+		if err := net.Endpoint(0).Send(5, comm.Message[uint64]{}); err == nil {
+			t.Errorf("%s: out-of-range send accepted", name)
+		}
+		if err := net.Endpoint(0).Send(-1, comm.Message[uint64]{}); err == nil {
+			t.Errorf("%s: negative send accepted", name)
+		}
+		net.Close()
+	}
+}
+
+func TestRecvAfterClose(t *testing.T) {
+	for name, net := range newNets(t, 2) {
+		t.Run(name, func(t *testing.T) {
+			net.Close()
+			done := make(chan bool, 1)
+			go func() {
+				_, ok := net.Endpoint(1).Recv()
+				done <- ok
+			}()
+			if ok := <-done; ok {
+				t.Fatal("Recv returned ok after close with empty inbox")
+			}
+		})
+	}
+}
+
+func TestLargeMessages(t *testing.T) {
+	// Larger than the 256KB write buffer to exercise flushing and
+	// multi-read framing on TCP.
+	const entries = 100000 // 1.6MB payload
+	for name, net := range newNets(t, 2) {
+		t.Run(name, func(t *testing.T) {
+			defer net.Close()
+			in := make([]comm.Entry[uint64], entries)
+			for i := range in {
+				in[i] = comm.Entry[uint64]{Key: uint64(i), Proc: 1, Index: uint32(i)}
+			}
+			go func() {
+				net.Endpoint(0).Send(1, comm.Message[uint64]{Kind: comm.KData, Entries: in})
+			}()
+			m, ok := net.Endpoint(1).Recv()
+			if !ok || len(m.Entries) != entries {
+				t.Fatalf("large recv: ok=%v len=%d", ok, len(m.Entries))
+			}
+			for i := 0; i < entries; i += 9973 {
+				if m.Entries[i].Key != uint64(i) {
+					t.Fatalf("payload corrupted at %d", i)
+				}
+			}
+		})
+	}
+}
+
+func TestManyNodesTCP(t *testing.T) {
+	// Mesh construction at a non-trivial node count.
+	net, err := NewTCP[uint64](10, comm.U64Codec{})
+	if err != nil {
+		t.Fatalf("NewTCP(10): %v", err)
+	}
+	defer net.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ep := net.Endpoint(i)
+			ep.Send((i+1)%10, comm.Message[uint64]{Kind: comm.KControl, Ints: []int64{int64(i)}})
+			m, ok := ep.Recv()
+			if !ok {
+				t.Errorf("node %d recv failed", i)
+				return
+			}
+			if want := (i + 9) % 10; m.Src != want {
+				t.Errorf("node %d got message from %d, want %d", i, m.Src, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func BenchmarkSendRecv(b *testing.B) {
+	for _, kind := range []string{KindChan, KindTCP} {
+		for _, sz := range []int{16, 1024, 16384} {
+			b.Run(fmt.Sprintf("%s/entries=%d", kind, sz), func(b *testing.B) {
+				net, err := New[uint64](kind, 2, comm.U64Codec{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer net.Close()
+				entries := make([]comm.Entry[uint64], sz)
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					ep := net.Endpoint(1)
+					for i := 0; i < b.N; i++ {
+						ep.Recv()
+					}
+				}()
+				ep := net.Endpoint(0)
+				b.SetBytes(int64(sz * 16))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ep.Send(1, comm.Message[uint64]{Kind: comm.KData, Entries: entries})
+				}
+				<-done
+			})
+		}
+	}
+}
