@@ -6,7 +6,7 @@
 //	pgxsort generate -kind right-skewed -n 1000000 -out keys.bin
 //	pgxsort sort     -in keys.bin -out sorted.bin -procs 8 -workers 4
 //	pgxsort verify   -in sorted.bin
-//	pgxsort info     -in keys.bin
+//	pgxsort describe -in keys.bin
 //
 // Key files are little-endian uint64 arrays.
 package main
@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"pgxsort"
@@ -35,8 +36,8 @@ func main() {
 		err = cmdSort(os.Args[2:])
 	case "verify":
 		err = cmdVerify(os.Args[2:])
-	case "info":
-		err = cmdInfo(os.Args[2:])
+	case "describe", "info": // info is the historical name
+		err = cmdDescribe(os.Args[2:])
 	default:
 		usage()
 	}
@@ -47,11 +48,11 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: pgxsort <generate|sort|verify|info> [flags]
-  generate -kind <uniform|normal|right-skewed|exponential> -n N [-seed S] [-domain D] -out FILE
+	fmt.Fprintln(os.Stderr, `usage: pgxsort <generate|sort|verify|describe> [flags]
+  generate -kind <uniform|normal|right-skewed|exponential|...> -n N [-seed S] [-domain D] -out FILE
   sort     -in FILE -out FILE [-procs P] [-workers W] [-transport chan|tcp] [-sample-factor F] [-no-investigator]
   verify   -in FILE
-  info     -in FILE`)
+  describe -in FILE`)
 	os.Exit(2)
 }
 
@@ -65,6 +66,9 @@ func cmdGenerate(args []string) error {
 	fs.Parse(args)
 	if *out == "" {
 		return fmt.Errorf("generate: -out required")
+	}
+	if *n < 0 {
+		return fmt.Errorf("generate: -n must be >= 0, got %d", *n)
 	}
 	k, err := dist.ParseKind(*kind)
 	if err != nil {
@@ -135,12 +139,12 @@ func cmdVerify(args []string) error {
 	return nil
 }
 
-func cmdInfo(args []string) error {
-	fs := flag.NewFlagSet("info", flag.ExitOnError)
+func cmdDescribe(args []string) error {
+	fs := flag.NewFlagSet("describe", flag.ExitOnError)
 	in := fs.String("in", "", "input file")
 	fs.Parse(args)
 	if *in == "" {
-		return fmt.Errorf("info: -in required")
+		return fmt.Errorf("describe: -in required")
 	}
 	keys, err := readKeys(*in)
 	if err != nil {
@@ -161,7 +165,11 @@ func cmdInfo(args []string) error {
 	}
 	fmt.Printf("%s: %d keys, min %d, max %d, duplicate ratio %.3f\n",
 		*in, len(keys), minK, maxK, dist.DuplicateRatio(keys))
-	h := dist.NewHistogram(keys, maxK+1, 16)
+	domain := maxK + 1
+	if domain == 0 { // maxK is MaxUint64; keep the top key in range
+		domain = math.MaxUint64
+	}
+	h := dist.NewHistogram(keys, domain, 16)
 	fmt.Print(h.Render(48))
 	return nil
 }

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"path/filepath"
+	"slices"
+	"strings"
 	"testing"
 )
 
@@ -50,5 +54,137 @@ func TestEmptyKeyFile(t *testing.T) {
 	out, err := readKeys(path)
 	if err != nil || len(out) != 0 {
 		t.Fatalf("empty round trip: %v, %d keys", err, len(out))
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		buf, _ := io.ReadAll(r)
+		done <- string(buf)
+	}()
+	ferr := fn()
+	w.Close()
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("command failed: %v\noutput:\n%s", ferr, out)
+	}
+	return out
+}
+
+// The CLI's end-to-end flow: generate a duplicate-heavy dataset, sort it,
+// verify the order, and describe both files.
+func TestGenerateSortDescribeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "keys.bin")
+	sorted := filepath.Join(dir, "sorted.bin")
+
+	captureStdout(t, func() error {
+		return cmdGenerate([]string{"-kind", "right-skewed", "-n", "100000", "-seed", "11", "-out", raw})
+	})
+	captureStdout(t, func() error {
+		return cmdSort([]string{"-in", raw, "-out", sorted, "-procs", "8", "-workers", "2"})
+	})
+	captureStdout(t, func() error {
+		return cmdVerify([]string{"-in", sorted})
+	})
+
+	desc := captureStdout(t, func() error {
+		return cmdDescribe([]string{"-in", sorted})
+	})
+	if !strings.Contains(desc, "duplicate ratio") {
+		t.Errorf("describe output missing duplicate ratio:\n%s", desc)
+	}
+	if !strings.Contains(desc, "#") || !strings.Contains(desc, "%") {
+		t.Errorf("describe output missing histogram:\n%s", desc)
+	}
+
+	// The sorted file must be an exact permutation of the input.
+	in, err := readKeys(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := readKeys(sorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in) != len(out) {
+		t.Fatalf("sort changed key count: %d -> %d", len(in), len(out))
+	}
+	slices.Sort(in)
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("output is not a permutation of the input at %d: %d != %d", i, out[i], in[i])
+		}
+	}
+}
+
+// Acceptance criterion: generate with a fixed seed is byte-deterministic
+// across runs.
+func TestGenerateByteDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.bin")
+	b := filepath.Join(dir, "b.bin")
+	for _, kind := range []string{"uniform", "normal", "right-skewed", "exponential"} {
+		args := func(out string) []string {
+			return []string{"-kind", kind, "-n", "20000", "-seed", "99", "-domain", "4096", "-out", out}
+		}
+		captureStdout(t, func() error { return cmdGenerate(args(a)) })
+		captureStdout(t, func() error { return cmdGenerate(args(b)) })
+		ba, err := os.ReadFile(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := os.ReadFile(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ba, bb) {
+			t.Errorf("%s: two runs with the same seed produced different bytes", kind)
+		}
+	}
+}
+
+func TestDescribeRequiresInput(t *testing.T) {
+	if err := cmdDescribe(nil); err == nil {
+		t.Fatal("describe without -in accepted")
+	}
+	if err := cmdGenerate([]string{"-kind", "no-such-dist", "-out", filepath.Join(t.TempDir(), "x.bin")}); err == nil {
+		t.Fatal("generate accepted an unknown distribution")
+	}
+	if err := cmdGenerate([]string{"-n", "-1", "-out", filepath.Join(t.TempDir(), "x.bin")}); err == nil {
+		t.Fatal("generate accepted a negative key count")
+	}
+}
+
+// Describing a file whose max key is MaxUint64 must not overflow the
+// histogram domain.
+func TestDescribeMaxKey(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "max.bin")
+	if err := writeKeys(path, []uint64{0, 7, 1<<64 - 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() error {
+		return cmdDescribe([]string{"-in", path})
+	})
+	if !strings.Contains(out, "max 18446744073709551615") {
+		t.Errorf("describe output missing max key:\n%s", out)
+	}
+	// The top key must land in the last bucket, not be clamped into a
+	// DefaultDomain-sized histogram.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, "#") {
+		t.Errorf("last bucket empty; histogram domain likely overflowed:\n%s", out)
 	}
 }

@@ -1,0 +1,3 @@
+module pgxsort
+
+go 1.23

@@ -1,0 +1,261 @@
+package dist
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+var allKinds = []Kind{
+	Uniform, Normal, RightSkewed, Exponential,
+	Sorted, ReverseSorted, FewDistinct, Constant,
+}
+
+func TestKindsArePaperFour(t *testing.T) {
+	want := []Kind{Uniform, Normal, RightSkewed, Exponential}
+	if len(Kinds) != 4 {
+		t.Fatalf("Kinds has %d entries, want 4 (Figure 4)", len(Kinds))
+	}
+	for i, k := range want {
+		if Kinds[i] != k {
+			t.Errorf("Kinds[%d] = %v, want %v", i, Kinds[i], k)
+		}
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, k := range allKinds {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Errorf("ParseKind(%q): %v", k.String(), err)
+			continue
+		}
+		if got != k {
+			t.Errorf("ParseKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParseKind("zipf"); err == nil {
+		t.Error("ParseKind accepted an unknown name")
+	}
+	if !strings.HasPrefix(Kind(99).String(), "kind(") {
+		t.Errorf("unknown kind String() = %q", Kind(99).String())
+	}
+}
+
+// Same Gen -> identical keys, on every kind, and Keys agrees with Fill.
+func TestDeterminism(t *testing.T) {
+	for _, k := range allKinds {
+		g := Gen{Kind: k, Seed: 12345, Domain: 1 << 16}
+		a := g.Keys(5000)
+		b := g.Keys(5000)
+		c := make([]uint64, 5000)
+		g.Fill(c)
+		for i := range a {
+			if a[i] != b[i] || a[i] != c[i] {
+				t.Fatalf("%v: nondeterministic at %d: %d, %d, %d", k, i, a[i], b[i], c[i])
+			}
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := Gen{Kind: Uniform, Seed: 1}.Keys(100)
+	b := Gen{Kind: Uniform, Seed: 2}.Keys(100)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("seeds 1 and 2 agree on %d/100 keys", same)
+	}
+}
+
+func modalShare(keys []uint64, v uint64) float64 {
+	n := 0
+	for _, k := range keys {
+		if k == v {
+			n++
+		}
+	}
+	return float64(n) / float64(len(keys))
+}
+
+// The calibrated shapes of the skewed kinds at their documented domains
+// (internal/harness/config.go): these shares drive the investigator's
+// 2/p splitter-duplication rule, so they are asserted tightly.
+func TestRightSkewedModalShareAtDomain64(t *testing.T) {
+	keys := Gen{Kind: RightSkewed, Seed: 7, Domain: 64}.Keys(200000)
+	if s := modalShare(keys, 0); math.Abs(s-0.44) > 0.01 {
+		t.Errorf("modal share = %.4f, want ~0.44", s)
+	}
+	// Each shoulder value [1,5] holds ~9.4% — one p=10 decile apiece.
+	for v := uint64(1); v <= 5; v++ {
+		if s := modalShare(keys, v); math.Abs(s-0.094) > 0.01 {
+			t.Errorf("shoulder value %d share = %.4f, want ~0.094", v, s)
+		}
+	}
+}
+
+func TestExponentialModalShareAtDomain12(t *testing.T) {
+	keys := Gen{Kind: Exponential, Seed: 7, Domain: 12}.Keys(200000)
+	want := 1 - math.Exp(-1) // ≈ 0.632
+	if s := modalShare(keys, 0); math.Abs(s-want) > 0.01 {
+		t.Errorf("modal share = %.4f, want ~%.3f", s, want)
+	}
+	// Geometric decay: each value holds ~1/e of the previous one's share.
+	s0, s1 := modalShare(keys, 0), modalShare(keys, 1)
+	if ratio := s1 / s0; math.Abs(ratio-math.Exp(-1)) > 0.03 {
+		t.Errorf("P(1)/P(0) = %.3f, want ~%.3f", ratio, math.Exp(-1))
+	}
+}
+
+func TestDomainClamping(t *testing.T) {
+	for _, k := range allKinds {
+		for _, d := range []uint64{1, 2, 12, 64, 1000, DefaultDomain} {
+			keys := Gen{Kind: k, Seed: 3, Domain: d}.Keys(2000)
+			for i, key := range keys {
+				if key >= d {
+					t.Fatalf("%v domain %d: key[%d] = %d out of range", k, d, i, key)
+				}
+			}
+		}
+	}
+}
+
+func TestDefaultDomainApplied(t *testing.T) {
+	keys := Gen{Kind: Uniform, Seed: 5}.Keys(10000)
+	for _, k := range keys {
+		if k >= DefaultDomain {
+			t.Fatalf("key %d outside default domain", k)
+		}
+	}
+}
+
+func TestSortedKinds(t *testing.T) {
+	asc := Gen{Kind: Sorted, Seed: 9}.Keys(5000)
+	for i := 1; i < len(asc); i++ {
+		if asc[i] < asc[i-1] {
+			t.Fatal("Sorted kind is not ascending")
+		}
+	}
+	desc := Gen{Kind: ReverseSorted, Seed: 9}.Keys(5000)
+	for i := 1; i < len(desc); i++ {
+		if desc[i] > desc[i-1] {
+			t.Fatal("ReverseSorted kind is not descending")
+		}
+	}
+}
+
+func TestFewDistinctAndConstant(t *testing.T) {
+	distinct := func(keys []uint64) int {
+		seen := map[uint64]struct{}{}
+		for _, k := range keys {
+			seen[k] = struct{}{}
+		}
+		return len(seen)
+	}
+	few := Gen{Kind: FewDistinct, Seed: 1}.Keys(10000)
+	if n := distinct(few); n > 16 {
+		t.Errorf("FewDistinct produced %d distinct values, want <= 16", n)
+	}
+	con := Gen{Kind: Constant, Seed: 1}.Keys(1000)
+	if n := distinct(con); n != 1 {
+		t.Errorf("Constant produced %d distinct values", n)
+	}
+}
+
+func TestDuplicateRatio(t *testing.T) {
+	cases := []struct {
+		keys []uint64
+		want float64
+	}{
+		{nil, 0},
+		{[]uint64{1, 2, 3, 4}, 0},
+		{[]uint64{7, 7, 7, 7}, 0.75},
+		{[]uint64{1, 1, 2, 2}, 0.5},
+	}
+	for _, c := range cases {
+		if got := DuplicateRatio(c.keys); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("DuplicateRatio(%v) = %v, want %v", c.keys, got, c.want)
+		}
+	}
+}
+
+func TestHistogramBucketsSumToTotal(t *testing.T) {
+	for _, k := range allKinds {
+		keys := Gen{Kind: k, Seed: 2}.Keys(30000)
+		h := NewHistogram(keys, DefaultDomain, 16)
+		if len(h.Buckets) != 16 {
+			t.Fatalf("%v: %d buckets", k, len(h.Buckets))
+		}
+		sum := 0
+		for _, c := range h.Buckets {
+			sum += c
+		}
+		if sum != h.Total || h.Total != len(keys) {
+			t.Errorf("%v: buckets sum %d, Total %d, keys %d", k, sum, h.Total, len(keys))
+		}
+	}
+}
+
+func TestHistogramClampsOutOfDomainKeys(t *testing.T) {
+	h := NewHistogram([]uint64{0, 5, 1 << 60}, 16, 4)
+	if h.Buckets[3] != 1 {
+		t.Errorf("out-of-domain key not clamped into last bucket: %v", h.Buckets)
+	}
+	if h.Total != 3 {
+		t.Errorf("Total = %d", h.Total)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	keys := Gen{Kind: RightSkewed, Seed: 4, Domain: 64}.Keys(10000)
+	out := NewHistogram(keys, 64, 8).Render(40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("render produced %d lines, want 8:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "#") {
+		t.Errorf("modal bucket has no bar: %q", lines[0])
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "%") {
+			t.Errorf("line missing share: %q", l)
+		}
+	}
+	// Degenerate inputs must not panic or divide by zero.
+	empty := NewHistogram(nil, 0, 0)
+	if got := empty.Render(0); got == "" {
+		t.Error("empty histogram rendered nothing")
+	}
+}
+
+func TestRNGStreamProperties(t *testing.T) {
+	r := NewRNG(42)
+	seenHi := false
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		if f > 0.99 {
+			seenHi = true
+		}
+	}
+	if !seenHi {
+		t.Error("Float64 never exceeded 0.99 in 1000 draws")
+	}
+	if NewRNG(7).Uint64() != NewRNG(7).Uint64() {
+		t.Error("same seed produced different first values")
+	}
+	if got := NewRNG(1).Uint64n(0); got != 0 {
+		t.Errorf("Uint64n(0) = %d", got)
+	}
+	for i := 0; i < 100; i++ {
+		if v := r.Uint64n(10); v >= 10 {
+			t.Fatalf("Uint64n(10) = %d", v)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package dist
+
+import "testing"
+
+// FuzzGenFill checks the domain-clamping invariant for arbitrary
+// (kind, seed, domain, n): every generated key must lie in [0, domain)
+// — with domain 0 meaning DefaultDomain — and generation must be
+// deterministic.
+func FuzzGenFill(f *testing.F) {
+	f.Add(uint8(0), uint64(1), uint64(0), uint16(100))
+	f.Add(uint8(2), uint64(7), uint64(64), uint16(1000))
+	f.Add(uint8(3), uint64(9), uint64(12), uint16(257))
+	f.Add(uint8(7), uint64(0), uint64(1), uint16(3))
+	f.Fuzz(func(t *testing.T, kind uint8, seed, domain uint64, n uint16) {
+		g := Gen{Kind: Kind(kind % 8), Seed: seed, Domain: domain}
+		limit := domain
+		if limit == 0 {
+			limit = DefaultDomain
+		}
+		keys := g.Keys(int(n))
+		for i, k := range keys {
+			if k >= limit {
+				t.Fatalf("%v: key[%d] = %d outside domain %d", g.Kind, i, k, limit)
+			}
+		}
+		again := g.Keys(int(n))
+		for i := range keys {
+			if keys[i] != again[i] {
+				t.Fatalf("%v: nondeterministic at %d", g.Kind, i)
+			}
+		}
+	})
+}

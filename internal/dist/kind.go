@@ -1,0 +1,61 @@
+package dist
+
+import "fmt"
+
+// Kind selects one of the synthetic key distributions.
+type Kind int
+
+const (
+	// Uniform draws keys uniformly from [0, Domain) (Figure 4a).
+	Uniform Kind = iota
+	// Normal draws keys from a clamped bell curve centered on Domain/2
+	// with standard deviation Domain/8 (Figure 4b).
+	Normal
+	// RightSkewed concentrates ~44% of keys on the modal value 0 with a
+	// long tail to the right (Figure 4c, "many duplicated data entries").
+	RightSkewed
+	// Exponential decays geometrically from the modal value 0; at
+	// Domain 12 it is floor(Exp(1)) with P(0) ≈ 63% (Figure 4d).
+	Exponential
+	// Sorted is uniform data already in ascending order.
+	Sorted
+	// ReverseSorted is uniform data in descending order.
+	ReverseSorted
+	// FewDistinct draws uniformly from at most 16 distinct values spread
+	// across the domain.
+	FewDistinct
+	// Constant repeats a single value: every splitter duplicates.
+	Constant
+)
+
+// Kinds holds the paper's four Figure-4 distributions, in figure order.
+var Kinds = []Kind{Uniform, Normal, RightSkewed, Exponential}
+
+var kindNames = map[Kind]string{
+	Uniform:       "uniform",
+	Normal:        "normal",
+	RightSkewed:   "right-skewed",
+	Exponential:   "exponential",
+	Sorted:        "sorted",
+	ReverseSorted: "reverse-sorted",
+	FewDistinct:   "few-distinct",
+	Constant:      "constant",
+}
+
+func (k Kind) String() string {
+	if name, ok := kindNames[k]; ok {
+		return name
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// ParseKind maps a distribution name (as printed by Kind.String) back to
+// its Kind.
+func ParseKind(name string) (Kind, error) {
+	for k, n := range kindNames {
+		if n == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown distribution %q (want uniform, normal, right-skewed, exponential, sorted, reverse-sorted, few-distinct or constant)", name)
+}

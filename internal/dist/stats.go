@@ -1,0 +1,95 @@
+package dist
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DuplicateRatio reports the fraction of entries that are duplicates of
+// an earlier entry: 1 - distinct/n. 0 means all keys are distinct; values
+// near 1 mean few distinct values cover the dataset (the paper's
+// "many duplicated data entries").
+func DuplicateRatio(keys []uint64) float64 {
+	if len(keys) == 0 {
+		return 0
+	}
+	seen := make(map[uint64]struct{}, 1024)
+	for _, k := range keys {
+		seen[k] = struct{}{}
+	}
+	return 1 - float64(len(seen))/float64(len(keys))
+}
+
+// Histogram counts keys into equal-width buckets over [0, Domain); keys
+// at or above Domain land in the last bucket.
+type Histogram struct {
+	Buckets []int  // per-bucket key counts
+	Total   int    // sum of Buckets
+	Domain  uint64 // value domain the bucket widths divide
+	Width   uint64 // values per bucket
+}
+
+// NewHistogram buckets keys over [0, domain). buckets must be >= 1;
+// domain 0 means DefaultDomain.
+func NewHistogram(keys []uint64, domain uint64, buckets int) *Histogram {
+	if domain == 0 {
+		domain = DefaultDomain
+	}
+	if buckets < 1 {
+		buckets = 1
+	}
+	width := domain / uint64(buckets)
+	if domain%uint64(buckets) != 0 {
+		width++ // ceil without overflowing domain+buckets-1
+	}
+	if width == 0 {
+		width = 1
+	}
+	h := &Histogram{
+		Buckets: make([]int, buckets),
+		Domain:  domain,
+		Width:   width,
+	}
+	for _, k := range keys {
+		b := int(k / width)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		h.Buckets[b]++
+		h.Total++
+	}
+	return h
+}
+
+// Render draws one line per bucket: its value range, share of the keys
+// and a bar scaled so the largest bucket spans width characters.
+func (h *Histogram) Render(width int) string {
+	if width < 1 {
+		width = 1
+	}
+	maxCount := 0
+	for _, c := range h.Buckets {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var sb strings.Builder
+	for b, c := range h.Buckets {
+		lo := uint64(b) * h.Width
+		hi := lo + h.Width
+		if hi > h.Domain || hi < lo { // hi < lo: overflow near MaxUint64
+			hi = h.Domain
+		}
+		share := 0.0
+		if h.Total > 0 {
+			share = 100 * float64(c) / float64(h.Total)
+		}
+		bar := 0
+		if maxCount > 0 {
+			bar = c * width / maxCount
+		}
+		fmt.Fprintf(&sb, "[%12d, %12d) %6.2f%% %s\n",
+			lo, hi, share, strings.Repeat("#", bar))
+	}
+	return sb.String()
+}
