@@ -5,6 +5,7 @@ package pgxsort
 // cmd/pgxsort-bench CLI regenerates the full tables at configurable sizes.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -13,6 +14,7 @@ import (
 	"pgxsort/internal/core"
 	"pgxsort/internal/dist"
 	"pgxsort/internal/graph"
+	"pgxsort/internal/harness"
 	"pgxsort/internal/spark"
 )
 
@@ -116,6 +118,39 @@ func BenchmarkFig6StrongScaling(b *testing.B) {
 				}
 				spark.SortByKey(rdd, comm.U64Codec{})
 				sc.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkSortManyPipeline compares SortMany schedules — sequential,
+// naive-concurrent (the old unbounded go-per-dataset behaviour) and the
+// pipelined scheduler — on the Figure 5/6 multi-dataset mix: one dataset
+// per input distribution, sorted over one engine. The pipelined schedule
+// overlaps one dataset's exchange with another's local compute; its
+// throughput win over both baselines is ISSUE 2's headline number.
+func BenchmarkSortManyPipeline(b *testing.B) {
+	datasets := make([][][]uint64, len(dist.Kinds))
+	for d, kind := range dist.Kinds {
+		datasets[d] = benchParts(kind, benchProcs, benchN)
+	}
+	totalKeys := int64(len(datasets)) * benchN
+	// Same schedule table as the harness "pipeline" experiment, so the
+	// Go-bench smoke numbers and the CI CSV artifact stay comparable.
+	for _, mode := range harness.PipelineModes(2) {
+		b.Run(fmt.Sprintf("%s/p=%d", mode.Name, benchProcs), func(b *testing.B) {
+			eng, err := core.NewEngine[uint64](
+				core.Options{Procs: benchProcs, WorkersPerProc: benchWkrs}, comm.U64Codec{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			b.SetBytes(totalKeys * 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.SortManyWith(context.Background(), mode.Opts, datasets...); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

@@ -1,12 +1,14 @@
 // Command pgxsort-bench regenerates the tables and figures of the paper's
 // evaluation section (§V). Each experiment prints the rows/series the
-// paper plots; -csv exports them for external plotting.
+// paper plots; -csv exports them for external plotting or for the CI
+// benchmark-trajectory artifact.
 //
 // Usage:
 //
 //	pgxsort-bench -list
 //	pgxsort-bench -exp fig5,fig6 -n 2000000 -procs 8,16,32,52
 //	pgxsort-bench -exp all -csv out/
+//	pgxsort-bench -exp fig5 -pipeline -csv -        # CSV to stdout (CI)
 package main
 
 import (
@@ -30,7 +32,9 @@ func main() {
 		transport = flag.String("transport", "chan", "transport: chan or tcp")
 		twScale   = flag.Int("twitter-scale", 16, "RMAT scale of the Twitter stand-in (2^scale vertices)")
 		reps      = flag.Int("reps", 1, "repetitions per timed point (fastest kept)")
-		csvDir    = flag.String("csv", "", "directory to export CSV files (optional)")
+		csvOut    = flag.String("csv", "", "CSV output: a directory for per-table files, or '-' for stdout (tables then go to stderr)")
+		pipeline  = flag.Bool("pipeline", false, "also run the SortMany pipeline sweep (shorthand for adding 'pipeline' to -exp)")
+		inflight  = flag.Int("inflight", 0, "SortMany scheduler admission cap for the pipeline sweep (0 = default)")
 	)
 	flag.Parse()
 
@@ -53,32 +57,62 @@ func main() {
 		Transport:    *transport,
 		TwitterScale: *twScale,
 		Reps:         *reps,
+		Inflight:     *inflight,
 	}
 
-	ids := strings.Split(*exp, ",")
-	for i := range ids {
-		ids[i] = strings.TrimSpace(ids[i])
-	}
-	tables, err := harness.Run(ids, cfg)
+	tables, err := harness.Run(expIDs(*exp, *pipeline), cfg)
 	if err != nil {
 		fatal(err)
 	}
+
+	// With -csv -, the machine-readable stream owns stdout; keep the
+	// human-readable tables on stderr so both remain usable in CI logs.
+	tableOut := os.Stdout
+	if *csvOut == "-" {
+		tableOut = os.Stderr
+	}
 	counts := map[string]int{}
 	for i := range tables {
-		fmt.Println(tables[i].Render())
-		if *csvDir != "" {
+		fmt.Fprintln(tableOut, tables[i].Render())
+		switch *csvOut {
+		case "":
+		case "-":
+			fmt.Printf("# == %s: %s\n%s\n", tables[i].ID, tables[i].Title, tables[i].CSV())
+		default:
 			counts[tables[i].ID]++
 			n := 0
 			if counts[tables[i].ID] > 1 {
 				n = counts[tables[i].ID]
 			}
-			path, err := tables[i].WriteCSV(*csvDir, n)
+			path, err := tables[i].WriteCSV(*csvOut, n)
 			if err != nil {
 				fatal(err)
 			}
-			fmt.Printf("(csv: %s)\n\n", path)
+			fmt.Fprintf(tableOut, "(csv: %s)\n\n", path)
 		}
 	}
+}
+
+// expIDs resolves the -exp list, appending the pipeline sweep when the
+// -pipeline shorthand asks for it and the list doesn't already run it.
+func expIDs(exp string, pipeline bool) []string {
+	ids := strings.Split(exp, ",")
+	for i := range ids {
+		ids[i] = strings.TrimSpace(ids[i])
+	}
+	if pipeline {
+		all := len(ids) == 1 && ids[0] == "all"
+		seen := false
+		for _, id := range ids {
+			if id == "pipeline" {
+				seen = true
+			}
+		}
+		if !all && !seen {
+			ids = append(ids, "pipeline")
+		}
+	}
+	return ids
 }
 
 func parseInts(s string) ([]int, error) {

@@ -1,6 +1,30 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
+
+func TestExpIDs(t *testing.T) {
+	cases := []struct {
+		exp      string
+		pipeline bool
+		want     string
+	}{
+		{"all", false, "all"},
+		{"all", true, "all"}, // 'all' already includes pipeline
+		{"fig5, fig6", false, "fig5,fig6"},
+		{"fig5,fig6", true, "fig5,fig6,pipeline"},
+		{"pipeline", true, "pipeline"},
+		{"fig5,pipeline", true, "fig5,pipeline"},
+	}
+	for _, c := range cases {
+		got := strings.Join(expIDs(c.exp, c.pipeline), ",")
+		if got != c.want {
+			t.Errorf("expIDs(%q, %v) = %q, want %q", c.exp, c.pipeline, got, c.want)
+		}
+	}
+}
 
 func TestParseInts(t *testing.T) {
 	got, err := parseInts("8, 16,32")

@@ -1,13 +1,16 @@
 // Multisort exercises two more of the paper's API claims (§III-IV): the
 // library "is generic and works with any data type and is able to sort
-// different data simultaneously". It sorts three uint64 datasets
-// concurrently over one cluster (multiplexed by sort id on the same
-// network), then sorts int64 and float64 keys on typed clusters.
+// different data simultaneously". It sorts three uint64 datasets over one
+// cluster through the pipelined SortMany scheduler — dataset d+1's local
+// sort overlaps dataset d's exchange — prints the per-dataset stage
+// spans so the overlap is visible, then sorts int64 and float64 keys on
+// typed clusters.
 //
 // Run: go run ./examples/multisort
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,8 +25,10 @@ func main() {
 	}
 	defer cluster.Close()
 
-	// Three datasets with different distributions, sorted simultaneously:
-	// their messages interleave on the same simulated network.
+	// Three datasets with different distributions, pipelined over the
+	// same cluster: their messages interleave on the same simulated
+	// network, but at most two are in flight and only one occupies a
+	// communication stage at a time.
 	kinds := []dist.Kind{dist.Uniform, dist.Normal, dist.Exponential}
 	datasets := make([][][]uint64, len(kinds))
 	for d, kind := range kinds {
@@ -33,7 +38,8 @@ func main() {
 		}
 		datasets[d] = parts
 	}
-	results, err := cluster.SortMany(datasets...)
+	results, err := cluster.SortManyWith(context.Background(),
+		pgxsort.SortManyOpts{MaxInflight: 2}, datasets...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,6 +49,17 @@ func main() {
 		}
 		fmt.Printf("dataset %-12s: %7d keys sorted, balance %.3f, %d data bytes moved\n",
 			kinds[d], res.Len(), res.Report.LoadImbalance(), res.Report.DataBytes)
+	}
+	// The stage spans are offsets from the SortMany call: overlap between
+	// one dataset's exchange and another's local-sort/merge is the
+	// pipeline working.
+	for d, res := range results {
+		tr := res.Report.Sched
+		fmt.Printf("dataset %d admitted after %8v:", d, tr.AdmitWait.Round(10e3))
+		for st := pgxsort.SchedStage(0); st < pgxsort.NumSchedStages; st++ {
+			fmt.Printf("  %s [%v..%v]", st, tr.StageStart[st].Round(10e3), tr.StageEnd[st].Round(10e3))
+		}
+		fmt.Println()
 	}
 
 	// Generic keys: signed integers.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"cmp"
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -38,9 +39,10 @@ type node[K cmp.Ordered] struct {
 	dm      *datamgr.Manager
 	tracker alloc.Tracker
 
-	mbMu   sync.Mutex
-	mbs    map[mbKey]*mailbox[comm.Message[K]]
-	closed bool // network gone; new mailboxes are born closed
+	mbMu      sync.Mutex
+	mbs       map[mbKey]*mailbox[comm.Message[K]]
+	closed    bool               // network gone; new mailboxes are born closed
+	cancelled map[int32]struct{} // sorts cancelled mid-flight: their mailboxes are born closed
 }
 
 type mbKey struct {
@@ -124,15 +126,37 @@ func (n *node[K]) mb(sortID int32, kind comm.Kind) *mailbox[comm.Message[K]] {
 		if n.closed {
 			mb.close()
 		}
+		if _, dead := n.cancelled[sortID]; dead {
+			mb.close()
+		}
 		n.mbs[key] = mb
 	}
 	return mb
 }
 
-// dropSort releases the mailboxes of a finished sort.
+// cancelSort fails every blocked recv of one sort on this node: existing
+// mailboxes close, and mailboxes created later for the sort are born
+// closed. Other sorts multiplexed on the node are untouched.
+func (n *node[K]) cancelSort(sortID int32) {
+	n.mbMu.Lock()
+	defer n.mbMu.Unlock()
+	if n.cancelled == nil {
+		n.cancelled = make(map[int32]struct{})
+	}
+	n.cancelled[sortID] = struct{}{}
+	for key, mb := range n.mbs {
+		if key.sortID == sortID {
+			mb.close()
+		}
+	}
+}
+
+// dropSort releases the mailboxes (and cancellation marker) of a
+// finished sort.
 func (n *node[K]) dropSort(sortID int32) {
 	n.mbMu.Lock()
 	defer n.mbMu.Unlock()
+	delete(n.cancelled, sortID)
 	for key := range n.mbs {
 		if key.sortID == sortID {
 			delete(n.mbs, key)
@@ -140,19 +164,35 @@ func (n *node[K]) dropSort(sortID int32) {
 	}
 }
 
+// checkParts validates the shape of one distributed dataset.
+func (e *Engine[K]) checkParts(parts [][]K) error {
+	if len(parts) != e.opts.Procs {
+		return fmt.Errorf("core: got %d parts for %d processors", len(parts), e.opts.Procs)
+	}
+	for _, part := range parts {
+		if len(part) > 1<<31-1 {
+			return fmt.Errorf("core: local part of %d entries exceeds the 2^31-1 origin-index limit", len(part))
+		}
+	}
+	return nil
+}
+
 // Sort sorts a dataset that is already distributed: parts[i] is processor
 // i's local input. len(parts) must equal Procs. The input slices are not
 // modified.
 func (e *Engine[K]) Sort(parts [][]K) (*Result[K], error) {
-	if len(parts) != e.opts.Procs {
-		return nil, fmt.Errorf("core: got %d parts for %d processors", len(parts), e.opts.Procs)
+	return e.SortCtx(context.Background(), parts)
+}
+
+// SortCtx is Sort with cancellation: when ctx is cancelled mid-flight the
+// sort's blocked receives fail and SortCtx returns ctx's error. The
+// engine stays usable for subsequent sorts — only this sort's mailboxes
+// are torn down.
+func (e *Engine[K]) SortCtx(ctx context.Context, parts [][]K) (*Result[K], error) {
+	if err := e.checkParts(parts); err != nil {
+		return nil, err
 	}
-	for _, part := range parts {
-		if len(part) > 1<<31-1 {
-			return nil, fmt.Errorf("core: local part of %d entries exceeds the 2^31-1 origin-index limit", len(part))
-		}
-	}
-	return e.sortOne(parts)
+	return e.sortOne(ctx, parts, nil)
 }
 
 // SortSlice block-distributes one slice across the processors and sorts it.
@@ -167,34 +207,52 @@ func (e *Engine[K]) SortSlice(data []K) (*Result[K], error) {
 	return e.Sort(parts)
 }
 
-// SortMany runs several sorts simultaneously over the same engine,
-// multiplexed by sort id — the paper's "sort multiple different data
-// simultaneously". Results are returned in input order; the first error
-// (if any) is reported after all sorts finish.
+// SortMany runs several sorts over the same engine, multiplexed by sort
+// id — the paper's "sort multiple different data simultaneously" — using
+// the pipelined scheduler with the engine's default knobs: at most
+// Options.MaxInflight datasets in flight and one dataset per
+// communication stage at a time. Results are returned in input order;
+// every failure is joined into the returned error (see Scheduler.Run).
 func (e *Engine[K]) SortMany(datasets ...[][]K) ([]*Result[K], error) {
-	results := make([]*Result[K], len(datasets))
-	errs := make([]error, len(datasets))
-	var wg sync.WaitGroup
-	for i, ds := range datasets {
-		wg.Add(1)
-		go func(i int, ds [][]K) {
-			defer wg.Done()
-			results[i], errs[i] = e.Sort(ds)
-		}(i, ds)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return results, err
-		}
-	}
-	return results, nil
+	return e.SortManyWith(context.Background(), SortManyOpts{}, datasets...)
 }
 
-// sortOne runs the six-step pipeline on every node for one dataset.
-func (e *Engine[K]) sortOne(parts [][]K) (*Result[K], error) {
+// SortManyWith is SortMany with cancellation and explicit scheduling
+// knobs (inflight cap, admission order, or the naive unbounded baseline).
+func (e *Engine[K]) SortManyWith(ctx context.Context, opts SortManyOpts, datasets ...[][]K) ([]*Result[K], error) {
+	return NewScheduler(e, opts).Run(ctx, datasets)
+}
+
+// sortOne runs the staged pipeline on every node for one dataset. ctrl is
+// non-nil only under the SortMany scheduler; ctx cancellation tears down
+// this sort's mailboxes without touching other sorts on the engine.
+func (e *Engine[K]) sortOne(ctx context.Context, parts [][]K, ctrl *stageCtrl) (*Result[K], error) {
 	sortID := e.nextSortID.Add(1)
 	p := e.opts.Procs
+
+	// The watcher must be fully stopped before dropSort below, or a late
+	// cancellation could re-mark a sort id whose marker dropSort already
+	// deleted, leaking it (and, after int32 wraparound, poisoning a
+	// reused id).
+	stopWatcher := func() {}
+	if ctx != nil && ctx.Done() != nil {
+		stop := make(chan struct{})
+		watcherDone := make(chan struct{})
+		go func() {
+			defer close(watcherDone)
+			select {
+			case <-ctx.Done():
+				for _, n := range e.nodes {
+					n.cancelSort(sortID)
+				}
+			case <-stop:
+			}
+		}()
+		stopWatcher = func() {
+			close(stop)
+			<-watcherDone
+		}
+	}
 
 	type nodeOut struct {
 		entries []comm.Entry[K]
@@ -214,6 +272,8 @@ func (e *Engine[K]) sortOne(parts [][]K) (*Result[K], error) {
 				opts:   e.opts,
 				codec:  e.codec,
 				input:  parts[i],
+				ctx:    ctx,
+				ctrl:   ctrl,
 			}
 			outs[i].entries, outs[i].err = s.run()
 			outs[i].report = s.report
@@ -221,8 +281,12 @@ func (e *Engine[K]) sortOne(parts [][]K) (*Result[K], error) {
 	}
 	wg.Wait()
 	total := time.Since(start)
+	stopWatcher()
 	for i := 0; i < p; i++ {
 		e.nodes[i].dropSort(sortID)
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return nil, ctx.Err()
 	}
 	for i, o := range outs {
 		if o.err != nil {
@@ -259,6 +323,7 @@ func (e *Engine[K]) sortOne(parts [][]K) (*Result[K], error) {
 		}
 	}
 	rep.CommTime = rep.Steps[StepSampling] + rep.Steps[StepSplitters] + rep.Steps[StepExchange]
+	rep.Sched = ctrl.snapshot()
 
 	parts2 := make([][]comm.Entry[K], p)
 	for i, o := range outs {

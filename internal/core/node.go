@@ -2,6 +2,7 @@ package core
 
 import (
 	"cmp"
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -21,9 +22,14 @@ type sortRun[K cmp.Ordered] struct {
 	opts   Options
 	codec  comm.Codec[K]
 	input  []K
+	ctx    context.Context // nil means uncancellable
+	ctrl   *stageCtrl      // nil outside the SortMany scheduler
 	report NodeReport
 	statMu sync.Mutex // guards the report's traffic counters: sends to
 	// different destinations run concurrently on the worker pool
+
+	stageArrived [NumSchedStages]bool
+	stageLeft    [NumSchedStages]bool
 }
 
 func entryLess[K cmp.Ordered](a, b comm.Entry[K]) bool { return a.Key < b.Key }
@@ -62,31 +68,118 @@ func (s *sortRun[K]) send(dst int, m comm.Message[K]) error {
 func (s *sortRun[K]) recv(kind comm.Kind) (comm.Message[K], error) {
 	m, ok := s.node.mb(s.sortID, kind).pop()
 	if !ok {
+		if s.ctx != nil && s.ctx.Err() != nil {
+			return m, s.ctx.Err()
+		}
 		return m, fmt.Errorf("network closed while waiting for %v", kind)
 	}
 	return m, nil
 }
 
-// run executes the six-step pipeline and returns this node's sorted part.
-func (s *sortRun[K]) run() ([]comm.Entry[K], error) {
-	n := s.node
-	p := s.opts.Procs
-	self := n.id
-	master := s.opts.Master
-	eb := entryBytes[K]()
+// enterStage blocks until the scheduler admits this sort into st,
+// recording how long this node waited at the boundary.
+func (s *sortRun[K]) enterStage(st SchedStage) error {
+	s.stageArrived[st] = true
+	wait, err := s.ctrl.enter(st)
+	s.report.StageWait[st] = wait
+	if err != nil {
+		return err
+	}
+	if s.ctx != nil {
+		return s.ctx.Err()
+	}
+	return nil
+}
 
-	// ---- Step 1: parallel local sort (quicksort + balanced merge) ----
+// leaveStage marks this node done with st, at most once per stage.
+func (s *sortRun[K]) leaveStage(st SchedStage) {
+	if s.stageLeft[st] {
+		return
+	}
+	s.stageLeft[st] = true
+	s.ctrl.leave(st)
+}
+
+// leaveAllStages credits this node's arrival at and departure from every
+// stage it has not passed through, so an error exit can never strand a
+// stage barrier or gate.
+func (s *sortRun[K]) leaveAllStages() {
+	for st := SchedStage(0); st < NumSchedStages; st++ {
+		if !s.stageArrived[st] {
+			s.stageArrived[st] = true
+			s.ctrl.forfeit(st)
+		}
+		s.leaveStage(st)
+	}
+}
+
+// run executes the staged pipeline and returns this node's sorted part.
+// The six paper steps map onto four scheduler stages: local sort (CPU),
+// sample/splitter agreement (comm), partition+exchange (comm-heavy),
+// final merge (CPU).
+func (s *sortRun[K]) run() ([]comm.Entry[K], error) {
+	defer s.leaveAllStages()
+
+	if err := s.enterStage(StageLocalSort); err != nil {
+		return nil, err
+	}
+	entries := s.localSort()
+	s.leaveStage(StageLocalSort)
+
+	if err := s.enterStage(StageSplitters); err != nil {
+		return nil, err
+	}
+	splitters, err := s.splitterAgreement(entries)
+	if err != nil {
+		return nil, err
+	}
+	s.leaveStage(StageSplitters)
+
+	if err := s.enterStage(StageExchange); err != nil {
+		return nil, err
+	}
+	asm, err := s.partitionExchange(entries, splitters)
+	if err != nil {
+		return nil, err
+	}
+	s.leaveStage(StageExchange)
+
+	if err := s.enterStage(StageMerge); err != nil {
+		asm.Release()
+		return nil, err
+	}
+	merged := s.finalMerge(asm)
+	s.leaveStage(StageMerge)
+
+	s.report.PartSize = len(merged)
+	s.report.ResidentBytes += int64(len(merged)) * int64(entryBytes[K]())
+	s.report.TempPeakBytes = s.node.tracker.Peak()
+	return merged, nil
+}
+
+// localSort is step 1: parallel local sort (quicksort + balanced merge).
+func (s *sortRun[K]) localSort() []comm.Entry[K] {
+	n := s.node
 	t0 := time.Now()
 	entries := make([]comm.Entry[K], len(s.input))
 	for i, k := range s.input {
-		entries[i] = comm.Entry[K]{Key: k, Proc: uint32(self), Index: uint32(i)}
+		entries[i] = comm.Entry[K]{Key: k, Proc: uint32(n.id), Index: uint32(i)}
 	}
-	s.report.ResidentBytes = int64(len(entries)) * int64(eb)
+	s.report.ResidentBytes = int64(len(entries)) * int64(entryBytes[K]())
 	lsort.ParallelSort(entries, entryLess[K], s.opts.WorkersPerProc, &n.tracker)
 	s.report.Steps[StepLocalSort] = time.Since(t0)
+	return entries
+}
+
+// splitterAgreement is steps 2-3: regular sampling, one buffer of samples
+// to the master, master-side splitter selection and broadcast.
+func (s *sortRun[K]) splitterAgreement(entries []comm.Entry[K]) ([]K, error) {
+	p := s.opts.Procs
+	self := s.node.id
+	master := s.opts.Master
 
 	// ---- Step 2: regular sampling, one buffer of samples to master ----
-	t0 = time.Now()
+	t0 := time.Now()
 	nsamples := sample.Count(s.opts.BufferBytes, p, s.codec.KeySize(), s.opts.SampleFactor, len(entries))
 	sampled := sample.Regular(entries, nsamples)
 	keys := make([]K, len(sampled))
@@ -138,9 +231,22 @@ func (s *sortRun[K]) run() ([]comm.Entry[K], error) {
 		}
 	}
 	s.report.Steps[StepSplitters] = time.Since(t0)
+	return splitters, nil
+}
+
+// partitionExchange is steps 4-5: binary-search range partitioning, the
+// range-metadata broadcast, and the simultaneous all-to-all exchange at
+// precomputed offsets. On error the assembly's temporary memory is
+// released, so a cancelled sort cannot inflate the node's tracker for
+// later sorts on the same engine.
+func (s *sortRun[K]) partitionExchange(entries []comm.Entry[K], splitters []K) (_ *datamgr.Assembly[K], err error) {
+	n := s.node
+	p := s.opts.Procs
+	self := n.id
+	eb := entryBytes[K]()
 
 	// ---- Step 4: binary-search range partitioning + metadata bcast ----
-	t0 = time.Now()
+	t0 := time.Now()
 	ranges := sample.Partition(entries, splitters,
 		func(a, b K) bool { return a < b },
 		func(e comm.Entry[K], sp K) bool { return e.Key > sp },
@@ -177,6 +283,11 @@ func (s *sortRun[K]) run() ([]comm.Entry[K], error) {
 	// ---- Step 5: simultaneous send and receive at precomputed offsets ----
 	t0 = time.Now()
 	asm := datamgr.NewAssembly[K](n.dm, perSrc, eb)
+	defer func() {
+		if err != nil {
+			asm.Release()
+		}
+	}()
 	// The local range never touches the network.
 	lo, hi := ranges.Range(self)
 	if err := asm.Write(self, entries[lo:hi]); err != nil {
@@ -265,9 +376,16 @@ func (s *sortRun[K]) run() ([]comm.Entry[K], error) {
 		}
 	}
 	s.report.Steps[StepExchange] = time.Since(t0)
+	return asm, nil
+}
 
-	// ---- Step 6: merge the received sorted runs ----
-	t0 = time.Now()
+// finalMerge is step 6: merge the received sorted runs.
+func (s *sortRun[K]) finalMerge(asm *datamgr.Assembly[K]) []comm.Entry[K] {
+	n := s.node
+	p := s.opts.Procs
+	eb := entryBytes[K]()
+
+	t0 := time.Now()
 	var merged []comm.Entry[K]
 	buf := asm.Entries()
 	switch s.opts.Merge {
@@ -288,9 +406,5 @@ func (s *sortRun[K]) run() ([]comm.Entry[K], error) {
 	}
 	asm.Release()
 	s.report.Steps[StepFinalMerge] = time.Since(t0)
-
-	s.report.PartSize = len(merged)
-	s.report.ResidentBytes += int64(len(merged)) * int64(eb)
-	s.report.TempPeakBytes = n.tracker.Peak()
-	return merged, nil
+	return merged
 }

@@ -82,6 +82,11 @@ type Options struct {
 	JitterMaxDelay time.Duration
 	// JitterSeed seeds the injected delays.
 	JitterSeed uint64
+	// MaxInflight is the default admission cap of the SortMany scheduler:
+	// how many datasets may be in flight at once (one of them in a
+	// communication stage). Default 2. SortManyOpts.MaxInflight overrides
+	// it per call.
+	MaxInflight int
 }
 
 // withDefaults returns a copy of o with defaults filled in.
@@ -100,6 +105,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Transport == "" {
 		o.Transport = transport.KindChan
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = DefaultMaxInflight
 	}
 	return o
 }

@@ -50,6 +50,87 @@ func (s Step) String() string {
 	}
 }
 
+// SchedStage identifies one of the scheduler's pipeline stages. Stages
+// group the six steps by resource: two CPU-bound stages the scheduler runs
+// freely, and two communication stages it serializes across datasets so
+// one dataset's exchange overlaps another's compute instead of contending
+// with it.
+type SchedStage int
+
+const (
+	// StageLocalSort is the CPU-bound local sort (step 1).
+	StageLocalSort SchedStage = iota
+	// StageSplitters is the sample/splitter agreement (steps 2-3): small
+	// messages, latency-bound, serialized across datasets.
+	StageSplitters
+	// StageExchange is the partition + all-to-all exchange (steps 4-5):
+	// the communication-heavy stage, serialized across datasets.
+	StageExchange
+	// StageMerge is the CPU-bound merge of the received runs (step 6).
+	StageMerge
+
+	// NumSchedStages is the number of scheduler stages.
+	NumSchedStages = 4
+)
+
+// String returns the stage label used in traces and tables.
+func (s SchedStage) String() string {
+	switch s {
+	case StageLocalSort:
+		return "local-sort"
+	case StageSplitters:
+		return "splitters"
+	case StageExchange:
+		return "exchange"
+	case StageMerge:
+		return "merge"
+	default:
+		return fmt.Sprintf("SchedStage(%d)", int(s))
+	}
+}
+
+// Serial reports whether the scheduler admits only one dataset at a time
+// into this stage (the communication stages).
+func (s SchedStage) Serial() bool {
+	return s == StageSplitters || s == StageExchange
+}
+
+// SchedTrace describes one sort's passage through the SortMany scheduler.
+// It is the zero value for plain Sort calls. All offsets are relative to
+// the batch epoch (the SortMany call), so overlap between datasets is
+// directly readable: dataset d's StageExchange span sitting inside
+// dataset d+1's StageLocalSort span is the pipelining working.
+type SchedTrace struct {
+	// Pipelined is true when the staged scheduler ran this sort.
+	Pipelined bool
+	// AdmitWait is how long the dataset waited for an admission slot.
+	AdmitWait time.Duration
+	// StageWait is how long the sort waited at each serialized stage's
+	// gate (zero for the CPU stages, which have no gate).
+	StageWait [NumSchedStages]time.Duration
+	// StageStart/StageEnd bracket each stage: offset from the batch epoch
+	// when the first node entered and when the last node left.
+	StageStart [NumSchedStages]time.Duration
+	StageEnd   [NumSchedStages]time.Duration
+}
+
+// String renders the trace as one line per stage.
+func (t *SchedTrace) String() string {
+	if !t.Pipelined {
+		return "unscheduled"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "admit-wait %v\n", t.AdmitWait)
+	for s := SchedStage(0); s < NumSchedStages; s++ {
+		fmt.Fprintf(&b, "  %-10s [%8v .. %8v]", s, t.StageStart[s], t.StageEnd[s])
+		if s.Serial() {
+			fmt.Fprintf(&b, " gate-wait %v", t.StageWait[s])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
 // NodeReport holds one processor's measurements for one sort.
 type NodeReport struct {
 	// Steps holds the wall time this node spent in each pipeline step.
@@ -72,6 +153,10 @@ type NodeReport struct {
 	// ResidentBytes is the entry storage this node holds (input entries +
 	// result), the analogue of RSS in Figure 11.
 	ResidentBytes int64
+	// StageWait is the time this node spent blocked at each scheduler
+	// stage boundary waiting to be admitted (zero outside SortMany's
+	// pipelined scheduler).
+	StageWait [NumSchedStages]time.Duration
 }
 
 // Report aggregates a distributed sort run, providing every measurement
@@ -101,6 +186,9 @@ type Report struct {
 	ResidentBytes int64
 	// SamplesPerProc is the per-processor sample count used (Figure 9/10).
 	SamplesPerProc int
+	// Sched describes this sort's passage through the SortMany scheduler
+	// (zero value for plain Sort calls).
+	Sched SchedTrace
 }
 
 // PartSizes returns the per-processor result sizes (Table II).
@@ -160,5 +248,8 @@ func (r *Report) String() string {
 		r.MsgsSent, r.BytesSent, r.SampleBytes, r.MetaBytes, r.DataBytes)
 	fmt.Fprintf(&b, "  memory: %d resident, %d temp peak\n", r.ResidentBytes, r.TempPeakBytes)
 	fmt.Fprintf(&b, "  balance: %.3f (max/avg), parts %v\n", r.LoadImbalance(), r.PartSizes())
+	if r.Sched.Pipelined {
+		fmt.Fprintf(&b, "  sched: %s", r.Sched.String())
+	}
 	return b.String()
 }

@@ -1,0 +1,354 @@
+package core
+
+import (
+	"cmp"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultMaxInflight is how many datasets the scheduler admits at once
+// when neither Options.MaxInflight nor SortManyOpts.MaxInflight is set:
+// one dataset in a communication stage while a second computes.
+const DefaultMaxInflight = 2
+
+// AdmitOrder selects the order in which SortMany admits datasets into the
+// pipeline. Results are always returned in input order regardless.
+type AdmitOrder int
+
+const (
+	// OrderInput admits datasets in the order they were passed (default).
+	OrderInput AdmitOrder = iota
+	// OrderSmallestFirst admits smaller datasets first, which lowers the
+	// mean completion latency of a mixed batch (shortest-job-first).
+	OrderSmallestFirst
+)
+
+func (o AdmitOrder) String() string {
+	switch o {
+	case OrderInput:
+		return "input"
+	case OrderSmallestFirst:
+		return "smallest-first"
+	default:
+		return fmt.Sprintf("AdmitOrder(%d)", int(o))
+	}
+}
+
+// SortManyOpts configures the pipelined multi-dataset scheduler.
+type SortManyOpts struct {
+	// MaxInflight caps how many datasets are admitted at once. 0 uses
+	// the engine's Options.MaxInflight (default 2); 1 degenerates to
+	// strictly sequential execution.
+	MaxInflight int
+	// Order selects the admission order (see AdmitOrder).
+	Order AdmitOrder
+	// Naive disables the staged scheduler and fires every dataset at
+	// once with unbounded concurrency — the pre-scheduler behaviour,
+	// kept as the benchmark baseline.
+	Naive bool
+}
+
+// stageGates is the shared admission state of one scheduler: an admission
+// semaphore plus a one-slot gate per serialized (communication) stage.
+type stageGates struct {
+	admit chan struct{}
+	gates [NumSchedStages]chan struct{}
+}
+
+func newStageGates(maxInflight int) *stageGates {
+	g := &stageGates{admit: make(chan struct{}, maxInflight)}
+	for st := SchedStage(0); st < NumSchedStages; st++ {
+		if st.Serial() {
+			g.gates[st] = make(chan struct{}, 1)
+		}
+	}
+	return g
+}
+
+// Scheduler pipelines several sorts over one engine. It admits at most
+// MaxInflight datasets and at most one dataset per communication stage at
+// a time, so dataset d+1's CPU-bound stages overlap dataset d's exchange
+// instead of competing with it — the deliberate version of the paper's
+// "sort multiple different data simultaneously".
+//
+// A Scheduler is safe for concurrent use; overlapping Run calls share the
+// same admission slots and stage gates.
+type Scheduler[K cmp.Ordered] struct {
+	eng   *Engine[K]
+	opts  SortManyOpts
+	gates *stageGates
+
+	mu       sync.Mutex
+	inflight int
+	peak     int
+}
+
+// NewScheduler builds a scheduler over e. Zero fields of opts fall back
+// to the engine's Options.
+func NewScheduler[K cmp.Ordered](e *Engine[K], opts SortManyOpts) *Scheduler[K] {
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = e.opts.MaxInflight
+	}
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = DefaultMaxInflight
+	}
+	return &Scheduler[K]{eng: e, opts: opts, gates: newStageGates(opts.MaxInflight)}
+}
+
+// PeakInflight reports the most datasets that were ever in flight at
+// once across this scheduler's Run calls.
+func (s *Scheduler[K]) PeakInflight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peak
+}
+
+func (s *Scheduler[K]) noteAdmit(delta int) {
+	s.mu.Lock()
+	s.inflight += delta
+	if s.inflight > s.peak {
+		s.peak = s.inflight
+	}
+	s.mu.Unlock()
+}
+
+// admitOrder returns dataset indices in admission order.
+func (s *Scheduler[K]) admitOrder(datasets [][][]K) []int {
+	order := make([]int, len(datasets))
+	for i := range order {
+		order[i] = i
+	}
+	if s.opts.Order == OrderSmallestFirst {
+		size := func(ds [][]K) int {
+			n := 0
+			for _, part := range ds {
+				n += len(part)
+			}
+			return n
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return size(datasets[order[a]]) < size(datasets[order[b]])
+		})
+	}
+	return order
+}
+
+// Run sorts every dataset, returning results indexed by input position.
+// Failed datasets leave a nil slot and their errors — wrapped with the
+// dataset index — are joined into the returned error, so one failure
+// neither hides the others nor discards the sorts that succeeded.
+// Cancelling ctx cancels admitted sorts and skips unadmitted ones.
+func (s *Scheduler[K]) Run(ctx context.Context, datasets [][][]K) ([]*Result[K], error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]*Result[K], len(datasets))
+	errs := make([]error, len(datasets))
+	epoch := time.Now()
+	var wg sync.WaitGroup
+	launch := func(idx int, admitWait time.Duration, gated bool) {
+		wg.Add(1)
+		s.noteAdmit(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				s.noteAdmit(-1)
+				if gated {
+					<-s.gates.admit
+				}
+			}()
+			var ctrl *stageCtrl
+			if gated {
+				ctrl = newStageCtrl(ctx, s.gates, s.eng.opts.Procs, epoch, admitWait)
+			}
+			res, err := s.eng.sortOne(ctx, datasets[idx], ctrl)
+			if err != nil {
+				errs[idx] = fmt.Errorf("dataset %d: %w", idx, err)
+				return
+			}
+			results[idx] = res
+		}()
+	}
+	for _, idx := range s.admitOrder(datasets) {
+		if err := s.eng.checkParts(datasets[idx]); err != nil {
+			errs[idx] = fmt.Errorf("dataset %d: %w", idx, err)
+			continue
+		}
+		if s.opts.Naive {
+			launch(idx, 0, false)
+			continue
+		}
+		// Blocking on the admission semaphore here — not inside the
+		// goroutine — fixes the admission order and bounds the number of
+		// live sort goroutine trees to MaxInflight. The Err pre-check
+		// makes a cancelled batch skip deterministically: with a free
+		// slot AND a done ctx the select below would pick at random.
+		if err := ctx.Err(); err != nil {
+			errs[idx] = fmt.Errorf("dataset %d: %w", idx, err)
+			continue
+		}
+		select {
+		case s.gates.admit <- struct{}{}:
+		case <-ctx.Done():
+			errs[idx] = fmt.Errorf("dataset %d: %w", idx, ctx.Err())
+			continue
+		}
+		launch(idx, time.Since(epoch), true)
+	}
+	wg.Wait()
+	return results, errors.Join(errs...)
+}
+
+// stageCtrl coordinates one sort's p node goroutines with the scheduler's
+// stage gates. A serialized stage is barrier-then-acquire: nodes wait
+// until all p have arrived, the last arrival triggers the gate
+// acquisition, and the last node to leave releases it. Acquiring only
+// once everyone is ready keeps intra-sort skew (one node still busy in a
+// CPU stage) from inflating the gate hold time, and means a sort holds at
+// most one serial gate at a time. CPU stages have no gate and only feed
+// the trace.
+type stageCtrl struct {
+	ctx   context.Context
+	gates *stageGates
+	procs int
+	epoch time.Time
+
+	ready [NumSchedStages]chan struct{}
+
+	mu       sync.Mutex
+	arrived  [NumSchedStages]int
+	entered  [NumSchedStages]int
+	left     [NumSchedStages]int
+	acquired [NumSchedStages]bool
+	finished [NumSchedStages]bool
+	trace    SchedTrace
+}
+
+func newStageCtrl(ctx context.Context, gates *stageGates, procs int, epoch time.Time, admitWait time.Duration) *stageCtrl {
+	c := &stageCtrl{ctx: ctx, gates: gates, procs: procs, epoch: epoch}
+	c.trace.Pipelined = true
+	c.trace.AdmitWait = admitWait
+	for st := SchedStage(0); st < NumSchedStages; st++ {
+		c.ready[st] = make(chan struct{})
+		if gates.gates[st] == nil {
+			close(c.ready[st]) // ungated stage: always open
+		}
+	}
+	return c
+}
+
+// enter blocks the calling node until its sort holds stage st, returning
+// how long it waited. A nil ctrl (plain Sort) admits immediately.
+func (c *stageCtrl) enter(st SchedStage) (time.Duration, error) {
+	if c == nil {
+		return 0, nil
+	}
+	start := time.Now()
+	if gate := c.gates.gates[st]; gate != nil {
+		c.mu.Lock()
+		c.arrived[st]++
+		last := c.arrived[st] == c.procs
+		c.mu.Unlock()
+		if last {
+			// Acquire on a separate goroutine so that a node blocked at
+			// the barrier can still be cancelled.
+			go c.acquire(st, gate)
+		}
+	}
+	select {
+	case <-c.ready[st]:
+	case <-c.ctx.Done():
+		return time.Since(start), c.ctx.Err()
+	}
+	c.mu.Lock()
+	c.entered[st]++
+	if c.entered[st] == 1 {
+		c.trace.StageStart[st] = time.Since(c.epoch)
+	}
+	c.mu.Unlock()
+	return time.Since(start), nil
+}
+
+// acquire takes a serialized stage's gate once every node has arrived,
+// then opens the stage. If the sort was abandoned in the meantime the
+// slot is handed straight back.
+func (c *stageCtrl) acquire(st SchedStage, gate chan struct{}) {
+	t0 := time.Now()
+	select {
+	case gate <- struct{}{}:
+	case <-c.ctx.Done():
+		return // enter unblocks via ctx
+	}
+	c.mu.Lock()
+	c.trace.StageWait[st] = time.Since(t0)
+	c.acquired[st] = true
+	fin := c.finished[st]
+	if fin {
+		// Every node already abandoned this stage (an earlier stage
+		// failed); hand the slot straight back.
+		c.acquired[st] = false
+	}
+	c.mu.Unlock()
+	close(c.ready[st])
+	if fin {
+		<-gate
+	}
+}
+
+// forfeit counts an abandoning node as arrived at a stage it will never
+// enter, so the barrier still completes and nodes already waiting at it
+// are released to observe the failure instead of blocking forever.
+func (c *stageCtrl) forfeit(st SchedStage) {
+	if c == nil {
+		return
+	}
+	gate := c.gates.gates[st]
+	if gate == nil {
+		return
+	}
+	c.mu.Lock()
+	c.arrived[st]++
+	last := c.arrived[st] == c.procs
+	c.mu.Unlock()
+	if last {
+		go c.acquire(st, gate)
+	}
+}
+
+// leave records that one node is done with stage st; the last node out
+// releases the stage's gate. It must be called exactly once per node per
+// stage (sortRun.leaveStage deduplicates, including on error exits).
+func (c *stageCtrl) leave(st SchedStage) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.left[st]++
+	release := false
+	if c.left[st] == c.procs {
+		c.trace.StageEnd[st] = time.Since(c.epoch)
+		c.finished[st] = true
+		if c.acquired[st] {
+			c.acquired[st] = false
+			release = true
+		}
+	}
+	c.mu.Unlock()
+	if release {
+		<-c.gates.gates[st]
+	}
+}
+
+// snapshot returns the trace once the sort is done.
+func (c *stageCtrl) snapshot() SchedTrace {
+	if c == nil {
+		return SchedTrace{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.trace
+}

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"pgxsort/internal/dist"
+)
+
+// mkDatasets builds one distributed dataset per distribution kind, the
+// Figure 5/6 mix the scheduler benchmarks use.
+func mkDatasets(procs, perProc int, seed uint64) [][][]uint64 {
+	datasets := make([][][]uint64, len(dist.Kinds))
+	for d, kind := range dist.Kinds {
+		datasets[d] = mkParts(kind, procs, perProc, seed+uint64(d)*101)
+	}
+	return datasets
+}
+
+func verifyAll(t *testing.T, results []*Result[uint64], datasets [][][]uint64) {
+	t.Helper()
+	if len(results) != len(datasets) {
+		t.Fatalf("got %d results for %d datasets", len(results), len(datasets))
+	}
+	for d, res := range results {
+		if res == nil {
+			t.Fatalf("dataset %d: nil result", d)
+		}
+		if err := res.Verify(datasets[d]); err != nil {
+			t.Fatalf("dataset %d: %v", d, err)
+		}
+	}
+}
+
+func TestSortManyPipelinedVerifies(t *testing.T) {
+	e := newTestEngine(t, Options{Procs: 4, WorkersPerProc: 2})
+	datasets := mkDatasets(4, 4000, 7)
+	results, err := e.SortManyWith(context.Background(), SortManyOpts{MaxInflight: 2}, datasets...)
+	if err != nil {
+		t.Fatalf("SortManyWith: %v", err)
+	}
+	verifyAll(t, results, datasets)
+	for d, res := range results {
+		if !res.Report.Sched.Pipelined {
+			t.Errorf("dataset %d: Sched.Pipelined not set", d)
+		}
+		for st := SchedStage(0); st < NumSchedStages; st++ {
+			if res.Report.Sched.StageEnd[st] < res.Report.Sched.StageStart[st] {
+				t.Errorf("dataset %d stage %v: end %v before start %v",
+					d, st, res.Report.Sched.StageEnd[st], res.Report.Sched.StageStart[st])
+			}
+		}
+	}
+}
+
+// TestSchedulerInflightCap checks both admission invariants: never more
+// than MaxInflight datasets in flight, and serialized stages occupied by
+// one dataset at a time (their spans cannot overlap).
+func TestSchedulerInflightCap(t *testing.T) {
+	for _, cap := range []int{1, 2} {
+		e := newTestEngine(t, Options{Procs: 4, WorkersPerProc: 2})
+		datasets := mkDatasets(4, 4000, 11)
+		sched := NewScheduler(e, SortManyOpts{MaxInflight: cap})
+		results, err := sched.Run(context.Background(), datasets)
+		if err != nil {
+			t.Fatalf("cap %d: %v", cap, err)
+		}
+		verifyAll(t, results, datasets)
+		if got := sched.PeakInflight(); got > cap {
+			t.Errorf("cap %d: peak inflight %d", cap, got)
+		}
+		for st := SchedStage(0); st < NumSchedStages; st++ {
+			if !st.Serial() {
+				continue
+			}
+			type span struct {
+				d          int
+				start, end time.Duration
+			}
+			var spans []span
+			for d, res := range results {
+				spans = append(spans, span{d, res.Report.Sched.StageStart[st], res.Report.Sched.StageEnd[st]})
+			}
+			for i := range spans {
+				for j := i + 1; j < len(spans); j++ {
+					a, b := spans[i], spans[j]
+					if a.start < b.end && b.start < a.end {
+						t.Errorf("cap %d: datasets %d and %d overlap in %v: [%v,%v] vs [%v,%v]",
+							cap, a.d, b.d, st, a.start, a.end, b.start, b.end)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSortManyInputOrder checks results stay addressable by input index
+// even when admission reorders the datasets.
+func TestSortManyInputOrder(t *testing.T) {
+	e := newTestEngine(t, Options{Procs: 4, WorkersPerProc: 2})
+	// Distinguishable datasets: dataset d holds only the key d.
+	datasets := make([][][]uint64, 3)
+	sizes := []int{30000, 100, 8000}
+	for d := range datasets {
+		parts := make([][]uint64, 4)
+		for i := range parts {
+			keys := make([]uint64, sizes[d]/4)
+			for j := range keys {
+				keys[j] = uint64(d)
+			}
+			parts[i] = keys
+		}
+		datasets[d] = parts
+	}
+	results, err := e.SortManyWith(context.Background(),
+		SortManyOpts{MaxInflight: 1, Order: OrderSmallestFirst}, datasets...)
+	if err != nil {
+		t.Fatalf("SortManyWith: %v", err)
+	}
+	for d, res := range results {
+		keys := res.Keys()
+		if len(keys) == 0 || keys[0] != uint64(d) || keys[len(keys)-1] != uint64(d) {
+			t.Fatalf("result %d does not hold dataset %d's keys", d, d)
+		}
+	}
+	// Smallest-first under a sequential cap: dataset 1 (the smallest) is
+	// admitted before dataset 0, so dataset 0 waits at least dataset 1's
+	// sort time while dataset 1 waits for nothing.
+	if w0, w1 := results[0].Report.Sched.AdmitWait, results[1].Report.Sched.AdmitWait; w0 <= w1 {
+		t.Errorf("smallest-first admission: big dataset waited %v, small %v", w0, w1)
+	}
+}
+
+// TestSortManyJoinsErrors checks the errors.Join behaviour: a malformed
+// dataset fails with its index, the others still sort and stay
+// addressable at their input positions.
+func TestSortManyJoinsErrors(t *testing.T) {
+	for _, naive := range []bool{false, true} {
+		e := newTestEngine(t, Options{Procs: 4, WorkersPerProc: 2})
+		good := mkParts(dist.Uniform, 4, 2000, 3)
+		bad := mkParts(dist.Uniform, 3, 2000, 4) // wrong part count
+		bad2 := mkParts(dist.Uniform, 5, 2000, 5)
+		results, err := e.SortManyWith(context.Background(),
+			SortManyOpts{Naive: naive}, good, bad, bad2)
+		if err == nil {
+			t.Fatalf("naive=%v: malformed datasets sorted without error", naive)
+		}
+		for _, want := range []string{"dataset 1", "dataset 2"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("naive=%v: error %q does not mention %s", naive, err, want)
+			}
+		}
+		if results[0] == nil {
+			t.Fatalf("naive=%v: healthy dataset dropped", naive)
+		}
+		if err := results[0].Verify(good); err != nil {
+			t.Errorf("naive=%v: healthy result corrupt: %v", naive, err)
+		}
+		if results[1] != nil || results[2] != nil {
+			t.Errorf("naive=%v: failed datasets produced results", naive)
+		}
+	}
+}
+
+// TestSortCancelDoesNotPoisonEngine cancels one sort mid-flight and then
+// reuses the engine: the cancellation must tear down only that sort's
+// mailboxes.
+func TestSortCancelDoesNotPoisonEngine(t *testing.T) {
+	e := newTestEngine(t, Options{Procs: 4, WorkersPerProc: 2})
+	parts := mkParts(dist.Uniform, 4, 200000, 9)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.SortCtx(ctx, parts)
+		done <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	err := <-done
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sort failed with a non-ctx error: %v", err)
+	}
+	// Whether or not the cancel raced with completion, the engine must
+	// still sort correctly afterwards — several times, to cross old ids.
+	for round := 0; round < 3; round++ {
+		after := mkParts(dist.Normal, 4, 3000, uint64(20+round))
+		res, err := e.Sort(after)
+		if err != nil {
+			t.Fatalf("round %d after cancel: %v", round, err)
+		}
+		if err := res.Verify(after); err != nil {
+			t.Fatalf("round %d after cancel: %v", round, err)
+		}
+	}
+}
+
+// TestCancelReleasesTempMemory checks a cancelled sort returns its
+// exchange-assembly accounting: the per-node temp-memory trackers must
+// drop back to zero live bytes, or every later sort on the reused engine
+// reports inflated Figure-11 temp peaks. Cancels are spread across the
+// whole measured sort duration so some land after the exchange assembly
+// exists (the leak-prone window).
+func TestCancelReleasesTempMemory(t *testing.T) {
+	e := newTestEngine(t, Options{Procs: 4, WorkersPerProc: 2})
+	big := mkParts(dist.Uniform, 4, 100000, 33)
+
+	start := time.Now()
+	if _, err := e.Sort(big); err != nil {
+		t.Fatal(err)
+	}
+	duration := time.Since(start)
+
+	const tries = 16
+	for i := 0; i < tries; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_, _ = e.SortCtx(ctx, big)
+		}()
+		time.Sleep(duration * time.Duration(i) / tries)
+		cancel()
+		<-done
+		for n := 0; n < 4; n++ {
+			if live := e.nodes[n].tracker.Live(); live != 0 {
+				t.Fatalf("cancel at %d/%d of sort: node %d has %d temp bytes still live",
+					i, tries, n, live)
+			}
+		}
+	}
+}
+
+// TestSortManyCancelledContext checks a pre-cancelled batch fails fast
+// without admitting anything, and the engine survives.
+func TestSortManyCancelledContext(t *testing.T) {
+	e := newTestEngine(t, Options{Procs: 4, WorkersPerProc: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	datasets := mkDatasets(4, 1000, 13)
+	results, err := e.SortManyWith(ctx, SortManyOpts{}, datasets...)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	for d, res := range results {
+		if res != nil {
+			t.Errorf("dataset %d produced a result under a cancelled ctx", d)
+		}
+	}
+	res, err := e.Sort(datasets[0])
+	if err != nil {
+		t.Fatalf("engine poisoned after cancelled batch: %v", err)
+	}
+	if err := res.Verify(datasets[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSortManyPipelinedUnderJitter runs the scheduler on the jittery
+// transport (and under -race in CI) to shake out timing assumptions.
+func TestSortManyPipelinedUnderJitter(t *testing.T) {
+	e := newTestEngine(t, Options{
+		Procs:          4,
+		WorkersPerProc: 2,
+		JitterMaxDelay: 200 * time.Microsecond,
+		JitterSeed:     42,
+	})
+	datasets := mkDatasets(4, 2500, 17)
+	results, err := e.SortManyWith(context.Background(), SortManyOpts{MaxInflight: 3}, datasets...)
+	if err != nil {
+		t.Fatalf("SortManyWith: %v", err)
+	}
+	verifyAll(t, results, datasets)
+}
+
+// TestCloseDuringPipelinedSortMany closes the engine while a pipelined
+// batch is in flight: every sort must fail (or finish) promptly instead
+// of deadlocking on a stage barrier whose members already bailed out.
+func TestCloseDuringPipelinedSortMany(t *testing.T) {
+	e := newTestEngine(t, Options{Procs: 4, WorkersPerProc: 2})
+	datasets := mkDatasets(4, 100000, 29)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Errors are expected; the point is that Run returns at all.
+		_, _ = e.SortManyWith(context.Background(), SortManyOpts{MaxInflight: 2}, datasets...)
+	}()
+	time.Sleep(2 * time.Millisecond)
+	e.Close()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("SortManyWith deadlocked after engine Close")
+	}
+}
+
+// TestSortManySequentialMatchesPipelined checks all three schedules agree
+// on the sorted output.
+func TestSortManySchedulesAgree(t *testing.T) {
+	datasets := mkDatasets(4, 2000, 23)
+	var kinds = []SortManyOpts{
+		{MaxInflight: 1},
+		{MaxInflight: 2},
+		{Naive: true},
+	}
+	var want [][]uint64
+	for _, opts := range kinds {
+		e := newTestEngine(t, Options{Procs: 4, WorkersPerProc: 2})
+		results, err := e.SortManyWith(context.Background(), opts, datasets...)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		verifyAll(t, results, datasets)
+		keys := make([][]uint64, len(results))
+		for d, res := range results {
+			keys[d] = res.Keys()
+		}
+		if want == nil {
+			want = keys
+			continue
+		}
+		for d := range keys {
+			if len(keys[d]) != len(want[d]) {
+				t.Fatalf("%+v: dataset %d length mismatch", opts, d)
+			}
+			for i := range keys[d] {
+				if keys[d][i] != want[d][i] {
+					t.Fatalf("%+v: dataset %d differs at %d", opts, d, i)
+				}
+			}
+		}
+	}
+}

@@ -31,6 +31,9 @@ type Config struct {
 	TwitterScale int
 	// Reps repeats each timed point, keeping the fastest run.
 	Reps int
+	// Inflight is the SortMany scheduler's admission cap for the
+	// pipeline experiment (default 2).
+	Inflight int
 }
 
 // WithDefaults fills unset fields.
@@ -55,6 +58,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.Reps <= 0 {
 		c.Reps = 1
+	}
+	if c.Inflight <= 0 {
+		c.Inflight = core.DefaultMaxInflight
 	}
 	return c
 }

@@ -68,8 +68,30 @@ func TestLookup(t *testing.T) {
 func TestConfigDefaults(t *testing.T) {
 	c := Config{}.WithDefaults()
 	if c.N == 0 || len(c.Procs) == 0 || c.Workers == 0 || c.Seed == 0 ||
-		c.Transport == "" || c.TwitterScale == 0 || c.Reps == 0 {
+		c.Transport == "" || c.TwitterScale == 0 || c.Reps == 0 || c.Inflight == 0 {
 		t.Fatalf("defaults missing: %+v", c)
+	}
+}
+
+func TestFig56PipelineRuns(t *testing.T) {
+	tabs, err := Fig56Pipeline(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tabs[0]
+	if tb.ID != "pipeline" {
+		t.Fatalf("id = %q", tb.ID)
+	}
+	if len(tb.Rows) != 2 || len(tb.Header) != 7 {
+		t.Fatalf("pipeline shape: %d rows x %d cols", len(tb.Rows), len(tb.Header))
+	}
+	for _, row := range tb.Rows {
+		for col := 1; col <= 3; col++ {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil || v <= 0 {
+				t.Fatalf("cell %q not a positive time: %v", row[col], err)
+			}
+		}
 	}
 }
 

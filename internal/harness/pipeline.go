@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"pgxsort/internal/core"
+	"pgxsort/internal/dist"
+)
+
+// PipelineMode is one SortMany schedule under comparison.
+type PipelineMode struct {
+	Name string
+	Opts core.SortManyOpts
+}
+
+// PipelineModes returns the SortMany schedules the pipeline sweep and
+// the root BenchmarkSortManyPipeline both compare, in table-column
+// order: sequential, naive-concurrent, pipelined with the given cap.
+func PipelineModes(inflight int) []PipelineMode {
+	return []PipelineMode{
+		{"sequential", core.SortManyOpts{MaxInflight: 1}},
+		{"naive", core.SortManyOpts{Naive: true}},
+		{"pipelined", core.SortManyOpts{MaxInflight: inflight}},
+	}
+}
+
+// Fig56Pipeline measures multi-dataset SortMany throughput on the Figure
+// 5/6 dataset mix (one dataset per input distribution) across the
+// processor sweep, comparing three schedules over one engine: strictly
+// sequential, naive-concurrent (every dataset fired at once, the
+// pre-scheduler behaviour), and the pipelined scheduler that overlaps one
+// dataset's exchange with another's local compute.
+func Fig56Pipeline(c Config) ([]Table, error) {
+	c = c.WithDefaults()
+	modes := PipelineModes(c.Inflight)
+	t := Table{
+		ID:    "pipeline",
+		Title: fmt.Sprintf("SortMany schedules on the Figure 5/6 mix (%d datasets, ms)", len(dist.Kinds)),
+		Header: []string{"procs", "seq_ms", "naive_ms", "pipe_ms",
+			"pipe_vs_seq", "pipe_vs_naive", "pipe_exch_wait_ms"},
+	}
+	for _, p := range c.Procs {
+		datasets := c.datasetMix(p)
+		times := make([]time.Duration, len(modes))
+		var exchWait time.Duration
+		for m, mode := range modes {
+			best := time.Duration(0)
+			for r := 0; r < c.Reps; r++ {
+				eng, err := newU64Engine(core.Options{
+					Procs:          p,
+					WorkersPerProc: c.Workers,
+					Transport:      c.Transport,
+				})
+				if err != nil {
+					return nil, err
+				}
+				start := time.Now()
+				results, err := eng.SortManyWith(context.Background(), mode.Opts, datasets...)
+				elapsed := time.Since(start)
+				eng.Close()
+				if err != nil {
+					return nil, err
+				}
+				if best == 0 || elapsed < best {
+					best = elapsed
+					if mode.Name == "pipelined" {
+						exchWait = 0
+						for _, res := range results {
+							exchWait += res.Report.Sched.StageWait[core.StageExchange]
+						}
+					}
+				}
+			}
+			times[m] = best
+		}
+		seq, naive, pipe := times[0], times[1], times[2]
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p),
+			ms(seq),
+			ms(naive),
+			ms(pipe),
+			fmt.Sprintf("%.2fx", float64(seq)/float64(pipe)),
+			fmt.Sprintf("%.2fx", float64(naive)/float64(pipe)),
+			ms(exchWait),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("N=%d keys per dataset, inflight cap %d, %d workers/proc, transport=%s",
+			c.N, c.Inflight, c.Workers, c.Transport),
+		"pipelined admits <=cap datasets and serializes the communication stages,",
+		"so one dataset's exchange overlaps another's local sort/merge instead of contending")
+	return []Table{t}, nil
+}
+
+// datasetMix builds the Figure 5/6 multi-dataset batch: one dataset per
+// input distribution, each of c.N keys distributed over p processors.
+func (c Config) datasetMix(p int) [][][]uint64 {
+	datasets := make([][][]uint64, len(dist.Kinds))
+	for d, kind := range dist.Kinds {
+		datasets[d] = c.parts(kind, p)
+	}
+	return datasets
+}

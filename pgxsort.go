@@ -56,6 +56,18 @@ type (
 	NodeReport = core.NodeReport
 	// Step identifies a pipeline step in Report.Steps.
 	Step = core.Step
+	// SortManyOpts configures the pipelined multi-dataset scheduler
+	// behind SortMany/SortManyWith: inflight cap, admission order, or
+	// the naive unbounded baseline.
+	SortManyOpts = core.SortManyOpts
+	// AdmitOrder selects the scheduler's admission order.
+	AdmitOrder = core.AdmitOrder
+	// SchedStage identifies a scheduler stage in SchedTrace/StageWait.
+	SchedStage = core.SchedStage
+	// SchedTrace records one sort's passage through the scheduler
+	// (Report.Sched): admission wait, per-stage gate waits, and stage
+	// spans relative to the batch epoch, so dataset overlap is readable.
+	SchedTrace = core.SchedTrace
 
 	// Entry is a sorted record: key plus origin processor and index.
 	Entry[K cmp.Ordered] = comm.Entry[K]
@@ -92,6 +104,24 @@ const (
 	NumSteps       = core.NumSteps
 )
 
+// Scheduler stages (SchedTrace / NodeReport.StageWait indices).
+const (
+	StageLocalSort = core.StageLocalSort
+	StageSplitters = core.StageSplitters
+	StageExchange  = core.StageExchange
+	StageMerge     = core.StageMerge
+	NumSchedStages = core.NumSchedStages
+)
+
+// SortMany admission orders.
+const (
+	OrderInput         = core.OrderInput
+	OrderSmallestFirst = core.OrderSmallestFirst
+)
+
+// DefaultMaxInflight is the scheduler's default admission cap.
+const DefaultMaxInflight = core.DefaultMaxInflight
+
 // Built-in key codecs for the TCP transport.
 var (
 	Uint64Codec  = comm.U64Codec{}
@@ -121,7 +151,11 @@ func CodecFor[K cmp.Ordered]() (Codec[K], error) {
 }
 
 // Cluster is a simulated PGX.D cluster ready to sort distributed data.
-// It embeds the engine; see Sort, SortSlice, SortMany and Close.
+// It embeds the engine; see Sort, SortCtx, SortSlice, SortMany,
+// SortManyWith and Close. SortMany pipelines its datasets through a
+// staged scheduler: at most Options.MaxInflight datasets in flight and
+// one dataset per communication stage at a time, so one dataset's
+// exchange overlaps another's local compute.
 type Cluster[K cmp.Ordered] struct {
 	*core.Engine[K]
 }

@@ -1,6 +1,7 @@
 package pgxsort
 
 import (
+	"context"
 	"testing"
 
 	"pgxsort/internal/dist"
@@ -63,6 +64,38 @@ func TestClusterReuse(t *testing.T) {
 		}
 		if res.Len() != 5000 {
 			t.Fatalf("round %d: len = %d", i, res.Len())
+		}
+	}
+}
+
+func TestSortManyWithFacade(t *testing.T) {
+	c, err := NewCluster[uint64](Options{Procs: 4, WorkersPerProc: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	datasets := make([][][]uint64, 3)
+	for d := range datasets {
+		parts := make([][]uint64, 4)
+		for i := range parts {
+			parts[i] = dist.Gen{Kind: dist.Kinds[d], Seed: uint64(10*d + i)}.Keys(2000)
+		}
+		datasets[d] = parts
+	}
+	results, err := c.SortManyWith(context.Background(),
+		SortManyOpts{MaxInflight: 2, Order: OrderSmallestFirst}, datasets...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, res := range results {
+		if err := res.Verify(datasets[d]); err != nil {
+			t.Fatalf("dataset %d: %v", d, err)
+		}
+		if !res.Report.Sched.Pipelined {
+			t.Fatalf("dataset %d: scheduler trace missing", d)
+		}
+		if res.Report.Sched.StageEnd[StageExchange] == 0 {
+			t.Fatalf("dataset %d: exchange span not recorded", d)
 		}
 	}
 }
