@@ -417,3 +417,74 @@ func BenchmarkLocalSortPrimitives(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkLocalSortPath compares the step-1 paths end to end (ISSUE 3):
+// the paper's comparison sort against the radix fast path over normalized
+// keys, per distribution kind on a persistent cluster.
+func BenchmarkLocalSortPath(b *testing.B) {
+	for _, kind := range []dist.Kind{dist.Uniform, dist.RightSkewed, dist.FewDistinct} {
+		parts := benchParts(kind, benchProcs, benchN)
+		for _, mode := range []core.LocalSortMode{core.LocalSortComparison, core.LocalSortRadix} {
+			b.Run(fmt.Sprintf("%s/%s", kind, mode), func(b *testing.B) {
+				eng, err := core.NewEngine[uint64](
+					core.Options{Procs: benchProcs, WorkersPerProc: benchWkrs, LocalSort: mode}, comm.U64Codec{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer eng.Close()
+				b.SetBytes(benchN * 8)
+				b.ResetTimer()
+				var last *core.Report
+				for i := 0; i < b.N; i++ {
+					res, err := eng.Sort(parts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = &res.Report
+				}
+				b.ReportMetric(float64(last.Steps[core.StepLocalSort].Microseconds())/1000, "local-sort-ms")
+			})
+		}
+	}
+}
+
+// BenchmarkSortManyAlloc measures allocation churn of a pipelined
+// SortMany batch with the scratch-buffer pools on versus the unpooled
+// baseline (ISSUE 3): pooling recycles the entry buffers, merge scratch
+// and exchange assemblies across datasets, cutting B/op.
+func BenchmarkSortManyAlloc(b *testing.B) {
+	const allocN = 100_000
+	datasets := make([][][]uint64, len(dist.Kinds))
+	for d, kind := range dist.Kinds {
+		datasets[d] = benchParts(kind, benchProcs, allocN)
+	}
+	totalKeys := int64(len(datasets)) * allocN
+	for _, pooled := range []bool{true, false} {
+		name := "pooled"
+		if !pooled {
+			name = "unpooled"
+		}
+		b.Run(name, func(b *testing.B) {
+			eng, err := core.NewEngine[uint64](
+				core.Options{Procs: benchProcs, WorkersPerProc: benchWkrs, DisablePooling: !pooled},
+				comm.U64Codec{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			// Warm the pools outside the measured window, as a steady-state
+			// service would be.
+			if _, err := eng.SortMany(datasets...); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(totalKeys * 8)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.SortMany(datasets...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

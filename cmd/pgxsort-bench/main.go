@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 
+	"pgxsort/internal/core"
 	"pgxsort/internal/harness"
 )
 
@@ -35,8 +36,14 @@ func main() {
 		csvOut    = flag.String("csv", "", "CSV output: a directory for per-table files, or '-' for stdout (tables then go to stderr)")
 		pipeline  = flag.Bool("pipeline", false, "also run the SortMany pipeline sweep (shorthand for adding 'pipeline' to -exp)")
 		inflight  = flag.Int("inflight", 0, "SortMany scheduler admission cap for the pipeline sweep (0 = default)")
+		localSort = flag.String("localsort", "auto", "step-1 path for all experiments: auto, comparison or radix")
 	)
 	flag.Parse()
+
+	lsMode, err := core.ParseLocalSortMode(*localSort)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *list {
 		for _, e := range harness.Experiments() {
@@ -58,6 +65,7 @@ func main() {
 		TwitterScale: *twScale,
 		Reps:         *reps,
 		Inflight:     *inflight,
+		LocalSort:    lsMode,
 	}
 
 	tables, err := harness.Run(expIDs(*exp, *pipeline), cfg)

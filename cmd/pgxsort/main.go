@@ -50,7 +50,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: pgxsort <generate|sort|verify|describe> [flags]
   generate -kind <uniform|normal|right-skewed|exponential|...> -n N [-seed S] [-domain D] -out FILE
-  sort     -in FILE -out FILE [-procs P] [-workers W] [-transport chan|tcp] [-sample-factor F] [-no-investigator]
+  sort     -in FILE -out FILE [-procs P] [-workers W] [-transport chan|tcp] [-sample-factor F] [-no-investigator] [-localsort auto|comparison|radix]
   verify   -in FILE
   describe -in FILE`)
 	os.Exit(2)
@@ -92,9 +92,14 @@ func cmdSort(args []string) error {
 	transport := fs.String("transport", "chan", "transport: chan or tcp")
 	factor := fs.Float64("sample-factor", 1.0, "sample size factor (paper's X multiplier)")
 	noInv := fs.Bool("no-investigator", false, "disable the duplicate-splitter investigator")
+	localSort := fs.String("localsort", "auto", "local sort path: auto, comparison or radix")
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		return fmt.Errorf("sort: -in and -out required")
+	}
+	lsMode, err := pgxsort.ParseLocalSortMode(*localSort)
+	if err != nil {
+		return fmt.Errorf("sort: %w", err)
 	}
 	keys, err := readKeys(*in)
 	if err != nil {
@@ -106,6 +111,7 @@ func cmdSort(args []string) error {
 		Transport:           *transport,
 		SampleFactor:        *factor,
 		DisableInvestigator: *noInv,
+		LocalSort:           lsMode,
 	})
 	if err != nil {
 		return err

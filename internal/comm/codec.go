@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+
+	"pgxsort/internal/alloc"
 )
 
 // Codec serializes keys of type K into fixed-width wire form. The TCP
@@ -50,7 +52,9 @@ func (U32Codec) Key(b []byte) uint32       { return binary.LittleEndian.Uint32(b
 
 // EncodeEntries appends the wire form of entries to dst and returns the
 // extended slice. Layout per entry: key (c.KeySize bytes), proc (uint32),
-// index (uint32).
+// index (uint32). The destination is sized exactly once from
+// len(entries): encoding a message into an empty dst allocates precisely
+// the payload, never grow's doubled capacity.
 func EncodeEntries[K any](dst []byte, entries []Entry[K], c Codec[K]) []byte {
 	ks := c.KeySize()
 	need := len(entries) * (ks + originBytes)
@@ -69,12 +73,20 @@ func EncodeEntries[K any](dst []byte, entries []Entry[K], c Codec[K]) []byte {
 // DecodeEntries parses n entries from b (as written by EncodeEntries) and
 // returns the remaining bytes.
 func DecodeEntries[K any](b []byte, n int, c Codec[K]) ([]Entry[K], []byte, error) {
+	return DecodeEntriesSlab(b, n, c, nil)
+}
+
+// DecodeEntriesSlab is DecodeEntries decoding into a slab from pool
+// (which may be nil). The TCP transport's read loops pass their network's
+// pool so every received chunk reuses a recycled slab; the consumer
+// returns it through Message.Release once the entries are copied out.
+func DecodeEntriesSlab[K any](b []byte, n int, c Codec[K], pool *alloc.SlabPool[Entry[K]]) ([]Entry[K], []byte, error) {
 	ks := c.KeySize()
 	need := n * (ks + originBytes)
 	if len(b) < need {
 		return nil, b, fmt.Errorf("comm: short entry payload: have %d bytes, need %d", len(b), need)
 	}
-	entries := make([]Entry[K], n)
+	entries := pool.Get(n) // a nil pool falls back to plain allocation
 	off := 0
 	for i := 0; i < n; i++ {
 		entries[i].Key = c.Key(b[off:])
@@ -138,11 +150,19 @@ func DecodeInts(b []byte, n int) ([]int64, []byte, error) {
 	return ints, b[need:], nil
 }
 
-// grow extends b by n zero bytes, reallocating if needed.
+// grow extends b by n zero bytes, reallocating if needed. Growing from
+// empty sizes the allocation exactly — the transport encodes one message
+// per buffer and knows the full payload up front — while appending to
+// existing data keeps doubling so incremental encoders (e.g. the Spark
+// baseline's shuffle blocks) stay amortized O(n).
 func grow(b []byte, n int) []byte {
 	l := len(b)
 	if cap(b)-l < n {
-		nb := make([]byte, l+n, (l+n)*2)
+		newCap := l + n
+		if l > 0 {
+			newCap *= 2
+		}
+		nb := make([]byte, l+n, newCap)
 		copy(nb, b)
 		return nb
 	}

@@ -1,0 +1,68 @@
+package comm
+
+import (
+	"testing"
+
+	"pgxsort/internal/alloc"
+)
+
+// TestEncodeEntriesExactSizing: encoding one message into an empty
+// destination must allocate exactly the payload, not grow's doubled
+// capacity.
+func TestEncodeEntriesExactSizing(t *testing.T) {
+	entries := make([]Entry[uint64], 100)
+	for i := range entries {
+		entries[i] = Entry[uint64]{Key: uint64(i), Proc: 1, Index: uint32(i)}
+	}
+	c := U64Codec{}
+	out := EncodeEntries(nil, entries, c)
+	need := len(entries) * (c.KeySize() + originBytes)
+	if len(out) != need {
+		t.Fatalf("len = %d, want %d", len(out), need)
+	}
+	if cap(out) != need {
+		t.Fatalf("cap = %d, want exactly %d (no doubling)", cap(out), need)
+	}
+
+	// Appending to existing data must still amortize (strictly more
+	// capacity than the immediate need).
+	out2 := EncodeEntries(out, entries, c)
+	if len(out2) != 2*need {
+		t.Fatalf("appended len = %d, want %d", len(out2), 2*need)
+	}
+	if cap(out2) < 2*need {
+		t.Fatalf("appended cap = %d too small", cap(out2))
+	}
+}
+
+// TestDecodeEntriesSlabReuses: decoding through a pool must reuse a
+// recycled slab and round-trip the entries exactly.
+func TestDecodeEntriesSlabReuses(t *testing.T) {
+	entries := make([]Entry[uint64], 64)
+	for i := range entries {
+		entries[i] = Entry[uint64]{Key: uint64(i) * 3, Proc: 2, Index: uint32(i)}
+	}
+	c := U64Codec{}
+	wire := EncodeEntries(nil, entries, c)
+
+	var pool alloc.SlabPool[Entry[uint64]]
+	seed := pool.Get(64)
+	base := &seed[0]
+	pool.Put(seed)
+
+	got, rest, err := DecodeEntriesSlab(wire, len(entries), c, &pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left over", len(rest))
+	}
+	if &got[0] != base {
+		t.Fatal("decode did not reuse the pooled slab")
+	}
+	for i := range entries {
+		if got[i] != entries[i] {
+			t.Fatalf("entry %d mismatch: %v vs %v", i, got[i], entries[i])
+		}
+	}
+}

@@ -70,6 +70,13 @@ type Message[K any] struct {
 	Entries  []Entry[K] // KData payloads
 	Keys     []K        // KSamples / KSplitters payloads
 	Ints     []int64    // KRangeMeta / KControl payloads
+
+	// Release, when non-nil, returns the Entries slab to the pool it was
+	// decoded into (set by the TCP transport's read loop). The consumer
+	// calls it after copying the entries out; leaving it uncalled is safe
+	// (the slab is simply garbage collected). The in-process transport
+	// never sets it: its Entries alias the sender's buffers.
+	Release func()
 }
 
 // LogicalBytes returns the payload size used for traffic accounting. It is

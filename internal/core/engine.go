@@ -26,6 +26,12 @@ type Engine[K cmp.Ordered] struct {
 	nextSortID atomic.Int32
 	closeOnce  sync.Once
 	dispatchWG sync.WaitGroup
+
+	// norm is the order-preserving uint64 normalization of K (nil when K
+	// has none); normBits its significant width. A non-nil norm opens the
+	// radix local-sort fast path (Options.LocalSort).
+	norm     func(K) uint64
+	normBits int
 }
 
 // node is one simulated processor: an endpoint on the network, a worker
@@ -38,6 +44,10 @@ type node[K cmp.Ordered] struct {
 	pool    *taskmgr.Pool
 	dm      *datamgr.Manager
 	tracker alloc.Tracker
+	// entryPool recycles this processor's entry and scratch slabs across
+	// sorts (nil when Options.DisablePooling), so a pipelined SortMany
+	// run reuses buffers instead of reallocating per dataset.
+	entryPool *alloc.SlabPool[comm.Entry[K]]
 
 	mbMu      sync.Mutex
 	mbs       map[mbKey]*mailbox[comm.Message[K]]
@@ -65,6 +75,14 @@ func NewEngine[K cmp.Ordered](opts Options, codec comm.Codec[K]) (*Engine[K], er
 		net = transport.WithJitter(net, opts.JitterMaxDelay, opts.JitterSeed)
 	}
 	e := &Engine[K]{opts: opts, codec: codec, net: net}
+	// A codec advertising its own normalization (comm.KeyNormalizer)
+	// takes precedence over the built-in per-type table, so custom key
+	// types can opt into the radix path.
+	if kn, ok := codec.(comm.KeyNormalizer[K]); ok {
+		e.norm, e.normBits = kn.Norm, kn.NormBits()
+	} else if norm, bits, ok := comm.NormFor[K](); ok {
+		e.norm, e.normBits = norm, bits
+	}
 	e.nodes = make([]*node[K], opts.Procs)
 	for i := range e.nodes {
 		n := &node[K]{
@@ -73,6 +91,9 @@ func NewEngine[K cmp.Ordered](opts Options, codec comm.Codec[K]) (*Engine[K], er
 			ep:   net.Endpoint(i),
 			pool: taskmgr.NewPool(opts.WorkersPerProc),
 			mbs:  make(map[mbKey]*mailbox[comm.Message[K]]),
+		}
+		if !opts.DisablePooling {
+			n.entryPool = &alloc.SlabPool[comm.Entry[K]]{}
 		}
 		n.dm = &datamgr.Manager{BufferBytes: opts.BufferBytes, Tracker: &n.tracker}
 		e.nodes[i] = n
@@ -260,6 +281,8 @@ func (e *Engine[K]) sortOne(ctx context.Context, parts [][]K, ctrl *stageCtrl) (
 		err     error
 	}
 	outs := make([]nodeOut, p)
+	cmps := e.comparators()
+	runs := make([]*sortRun[K], p)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for i := 0; i < p; i++ {
@@ -274,7 +297,9 @@ func (e *Engine[K]) sortOne(ctx context.Context, parts [][]K, ctrl *stageCtrl) (
 				input:  parts[i],
 				ctx:    ctx,
 				ctrl:   ctrl,
+				cmps:   cmps,
 			}
+			runs[i] = s
 			outs[i].entries, outs[i].err = s.run()
 			outs[i].report = s.report
 		}(i)
@@ -284,6 +309,9 @@ func (e *Engine[K]) sortOne(ctx context.Context, parts [][]K, ctrl *stageCtrl) (
 	stopWatcher()
 	for i := 0; i < p; i++ {
 		e.nodes[i].dropSort(sortID)
+		// All nodes have joined: no exchange message aliases a retired
+		// buffer any more, so the input-entry slabs can be recycled.
+		runs[i].recycleRetired()
 	}
 	if ctx != nil && ctx.Err() != nil {
 		return nil, ctx.Err()
@@ -323,6 +351,7 @@ func (e *Engine[K]) sortOne(ctx context.Context, parts [][]K, ctrl *stageCtrl) (
 		}
 	}
 	rep.CommTime = rep.Steps[StepSampling] + rep.Steps[StepSplitters] + rep.Steps[StepExchange]
+	rep.LocalSortPath = cmps.path
 	rep.Sched = ctrl.snapshot()
 
 	parts2 := make([][]comm.Entry[K], p)

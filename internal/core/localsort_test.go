@@ -1,0 +1,219 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"pgxsort/internal/comm"
+	"pgxsort/internal/dist"
+)
+
+// stringCodec is a fixed-width stand-in codec for a key type with no
+// uint64 normalization; the channel transport never serializes, so only
+// KeySize matters.
+type stringCodec struct{}
+
+func (stringCodec) KeySize() int { return 8 }
+func (stringCodec) PutKey(b []byte, k string) {
+	copy(b[:8], k)
+}
+func (stringCodec) Key(b []byte) string { return string(b[:8]) }
+
+func sortKeysWith[K interface {
+	~uint64 | ~int64 | ~float64 | ~uint32 | ~string
+}](t *testing.T, codec comm.Codec[K], opts Options, keys []K) (*Result[K], *Engine[K]) {
+	t.Helper()
+	if opts.Procs == 0 {
+		opts.Procs = 4
+	}
+	eng, err := NewEngine[K](opts, codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	parts := make([][]K, opts.Procs)
+	for i := range parts {
+		lo := i * len(keys) / opts.Procs
+		hi := (i + 1) * len(keys) / opts.Procs
+		parts[i] = keys[lo:hi]
+	}
+	res, err := eng.Sort(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, eng
+}
+
+// TestLocalSortAutoPicksRadix: Auto must take the radix path for a key
+// type with a built-in norm, and both forced modes must be honored.
+func TestLocalSortAutoPicksRadix(t *testing.T) {
+	keys := dist.Gen{Kind: dist.Uniform, Seed: 5}.Keys(4000)
+	cases := []struct {
+		mode LocalSortMode
+		want string
+	}{
+		{LocalSortAuto, "radix"},
+		{LocalSortRadix, "radix"},
+		{LocalSortComparison, "comparison"},
+	}
+	for _, tc := range cases {
+		res, _ := sortKeysWith[uint64](t, comm.U64Codec{}, Options{LocalSort: tc.mode}, keys)
+		if res.Report.LocalSortPath != tc.want {
+			t.Fatalf("mode %v: LocalSortPath = %q, want %q", tc.mode, res.Report.LocalSortPath, tc.want)
+		}
+		for _, nr := range res.Report.PerNode {
+			if nr.LocalSortPath != tc.want {
+				t.Fatalf("mode %v: node path = %q, want %q", tc.mode, nr.LocalSortPath, tc.want)
+			}
+		}
+		got := res.Keys()
+		if len(got) != len(keys) {
+			t.Fatalf("mode %v: %d keys out, want %d", tc.mode, len(got), len(keys))
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1] > got[i] {
+				t.Fatalf("mode %v: unsorted at %d", tc.mode, i)
+			}
+		}
+	}
+}
+
+// TestLocalSortAutoFallsBackForUnnormalizableKey: a key type without a
+// norm must stay on the comparison path even when radix is requested.
+func TestLocalSortAutoFallsBackForUnnormalizableKey(t *testing.T) {
+	keys := []string{"pear", "apple", "fig", "kiwi", "plum", "date", "lime", "mango"}
+	for _, mode := range []LocalSortMode{LocalSortAuto, LocalSortRadix} {
+		res, _ := sortKeysWith[string](t, stringCodec{}, Options{LocalSort: mode}, keys)
+		if res.Report.LocalSortPath != "comparison" {
+			t.Fatalf("mode %v: LocalSortPath = %q, want comparison", mode, res.Report.LocalSortPath)
+		}
+		got := res.Keys()
+		for i := 1; i < len(got); i++ {
+			if got[i-1] > got[i] {
+				t.Fatalf("unsorted at %d: %v", i, got)
+			}
+		}
+	}
+}
+
+// TestRadixPathFloat64TotalOrder: with float keys the radix path must
+// produce the norm's IEEE-754 total order end to end, NaNs pinned after
+// +Inf and -0 before +0, with no keys lost.
+func TestRadixPathFloat64TotalOrder(t *testing.T) {
+	keys := []float64{
+		3.5, math.NaN(), -1, math.Inf(-1), 0, math.Copysign(0, -1),
+		math.Inf(1), -2.25, 7, math.NaN(), -0.5, 1e300, -1e300, 2, 11, -7,
+	}
+	res, eng := sortKeysWith[float64](t, comm.F64Codec{}, Options{}, keys)
+	if res.Report.LocalSortPath != "radix" {
+		t.Fatalf("LocalSortPath = %q, want radix", res.Report.LocalSortPath)
+	}
+	got := res.Keys()
+	if len(got) != len(keys) {
+		t.Fatalf("%d keys out, want %d", len(got), len(keys))
+	}
+	norm := comm.F64Codec{}.Norm
+	for i := 1; i < len(got); i++ {
+		if norm(got[i-1]) > norm(got[i]) {
+			t.Fatalf("total order violated at %d: %v after %v", i, got[i], got[i-1])
+		}
+	}
+	// The two NaNs sort last, after +Inf.
+	if !math.IsNaN(got[len(got)-1]) || !math.IsNaN(got[len(got)-2]) {
+		t.Fatalf("NaNs not pinned at the end: %v", got[len(got)-4:])
+	}
+	if !math.IsInf(got[len(got)-3], 1) {
+		t.Fatalf("+Inf not immediately before the NaNs: %v", got[len(got)-4:])
+	}
+	// -0 strictly before +0.
+	zeroAt := -1
+	for i, k := range got {
+		if k == 0 {
+			zeroAt = i
+			break
+		}
+	}
+	if math.Copysign(1, got[zeroAt]) != -1 || math.Copysign(1, got[zeroAt+1]) != 1 {
+		t.Fatalf("-0/+0 not ordered by sign at %d", zeroAt)
+	}
+	_ = eng
+}
+
+// TestPoolingBalancesAndReuses: the Figure-11 temp-memory accounting
+// must balance to zero after every sort with pooling on, and a second
+// sort on the same engine must actually reuse pooled slabs.
+func TestPoolingBalancesAndReuses(t *testing.T) {
+	keys := dist.Gen{Kind: dist.Normal, Seed: 9}.Keys(8000)
+	eng, err := NewEngine[uint64](Options{Procs: 4, WorkersPerProc: 2}, comm.U64Codec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	parts := make([][]uint64, 4)
+	for i := range parts {
+		parts[i] = keys[i*len(keys)/4 : (i+1)*len(keys)/4]
+	}
+	for round := 0; round < 3; round++ {
+		res, err := eng.Sort(parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Report.TempPeakBytes <= 0 {
+			t.Fatalf("round %d: no temporary memory accounted", round)
+		}
+		for i, n := range eng.nodes {
+			if live := n.tracker.Live(); live != 0 {
+				t.Fatalf("round %d: node %d temp accounting unbalanced: %d live bytes", round, i, live)
+			}
+		}
+	}
+	for i, n := range eng.nodes {
+		gets, hits := n.entryPool.Stats()
+		if gets == 0 {
+			t.Fatalf("node %d: pool unused", i)
+		}
+		if hits == 0 {
+			t.Fatalf("node %d: pool never reused a slab across 3 sorts (%d gets)", i, gets)
+		}
+	}
+}
+
+// TestDisablePooling: the unpooled ablation must leave the nodes without
+// pools and still sort correctly with balanced accounting.
+func TestDisablePooling(t *testing.T) {
+	keys := dist.Gen{Kind: dist.Uniform, Seed: 4}.Keys(3000)
+	res, eng := sortKeysWith[uint64](t, comm.U64Codec{}, Options{DisablePooling: true}, keys)
+	for i, n := range eng.nodes {
+		if n.entryPool != nil {
+			t.Fatalf("node %d: pool present despite DisablePooling", i)
+		}
+		if live := n.tracker.Live(); live != 0 {
+			t.Fatalf("node %d: unbalanced accounting: %d", i, live)
+		}
+	}
+	got := res.Keys()
+	for i := 1; i < len(got); i++ {
+		if got[i-1] > got[i] {
+			t.Fatalf("unsorted at %d", i)
+		}
+	}
+}
+
+// TestRadixMatchesComparisonOrder: on every distribution kind the radix
+// and comparison paths must produce identical key sequences.
+func TestRadixMatchesComparisonOrder(t *testing.T) {
+	for _, kind := range []dist.Kind{dist.Uniform, dist.RightSkewed, dist.Constant, dist.ReverseSorted} {
+		keys := dist.Gen{Kind: kind, Seed: 21, Domain: 64}.Keys(5000)
+		radix, _ := sortKeysWith[uint64](t, comm.U64Codec{}, Options{LocalSort: LocalSortRadix}, keys)
+		comparison, _ := sortKeysWith[uint64](t, comm.U64Codec{}, Options{LocalSort: LocalSortComparison}, keys)
+		rk, ck := radix.Keys(), comparison.Keys()
+		if len(rk) != len(ck) {
+			t.Fatalf("%s: length mismatch %d vs %d", kind, len(rk), len(ck))
+		}
+		for i := range rk {
+			if rk[i] != ck[i] {
+				t.Fatalf("%s: paths diverge at %d: %d vs %d", kind, i, rk[i], ck[i])
+			}
+		}
+	}
+}

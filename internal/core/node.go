@@ -4,7 +4,7 @@ import (
 	"cmp"
 	"context"
 	"fmt"
-	"sync"
+	"sync/atomic"
 	"time"
 	"unsafe"
 
@@ -24,15 +24,95 @@ type sortRun[K cmp.Ordered] struct {
 	input  []K
 	ctx    context.Context // nil means uncancellable
 	ctrl   *stageCtrl      // nil outside the SortMany scheduler
+	cmps   sortCmps[K]
 	report NodeReport
-	statMu sync.Mutex // guards the report's traffic counters: sends to
-	// different destinations run concurrently on the worker pool
+
+	// Traffic counters are atomics, not a mutex: sends to different
+	// destinations run concurrently on the worker pool, and the exchange
+	// hot path must not serialize them. They fold into the report once
+	// the run finishes.
+	bytesSent   atomic.Int64
+	msgsSent    atomic.Int64
+	sampleBytes atomic.Int64
+	metaBytes   atomic.Int64
+	dataBytes   atomic.Int64
+
+	// retired collects pooled entry slabs whose subslices may still be
+	// aliased by in-flight exchange messages; sortOne recycles them only
+	// after every node has joined.
+	retired [][]comm.Entry[K]
 
 	stageArrived [NumSchedStages]bool
 	stageLeft    [NumSchedStages]bool
 }
 
 func entryLess[K cmp.Ordered](a, b comm.Entry[K]) bool { return a.Key < b.Key }
+
+// sortCmps bundles one sort's ordering machinery: the resolved step-1
+// path, the comparators driving sampling, partitioning and merging, and
+// the key normalization feeding the radix passes. When the radix path is
+// active every comparison goes through the normalized image, so the whole
+// pipeline produces one consistent total order — for float64 that is the
+// IEEE-754 total order, which pins the NaN positions `<` cannot order.
+type sortCmps[K cmp.Ordered] struct {
+	path      string // "radix" or "comparison"
+	useRadix  bool
+	norm      func(K) uint64
+	normBits  int
+	entryLess func(a, b comm.Entry[K]) bool
+	keyLess   func(a, b K) bool
+	keyAbove  func(e comm.Entry[K], sp K) bool // e.Key strictly above the splitter
+}
+
+// comparators resolves Options.LocalSort against the engine's key
+// normalization (LocalSortRadix without a norm degrades to comparison).
+func (e *Engine[K]) comparators() sortCmps[K] {
+	c := sortCmps[K]{norm: e.norm, normBits: e.normBits}
+	c.useRadix = e.norm != nil && e.opts.LocalSort != LocalSortComparison
+	if c.useRadix {
+		c.path = "radix"
+		norm := e.norm
+		c.entryLess = func(a, b comm.Entry[K]) bool { return norm(a.Key) < norm(b.Key) }
+		c.keyLess = func(a, b K) bool { return norm(a) < norm(b) }
+		c.keyAbove = func(en comm.Entry[K], sp K) bool { return norm(en.Key) > norm(sp) }
+	} else {
+		c.path = "comparison"
+		c.entryLess = entryLess[K]
+		c.keyLess = func(a, b K) bool { return a < b }
+		c.keyAbove = func(en comm.Entry[K], sp K) bool { return en.Key > sp }
+	}
+	return c
+}
+
+// retire schedules a pooled slab for recycling once the whole sort has
+// joined (sortOne calls recycleRetired after the last node finishes).
+func (s *sortRun[K]) retire(buf []comm.Entry[K]) {
+	if s.node.entryPool != nil {
+		s.retired = append(s.retired, buf)
+	}
+}
+
+// recycleRetired returns the retired slabs to the node's pool. Only safe
+// once no exchange message can alias them: after every node of the sort
+// has joined.
+func (s *sortRun[K]) recycleRetired() {
+	if s == nil {
+		return
+	}
+	for _, buf := range s.retired {
+		s.node.entryPool.Put(buf)
+	}
+	s.retired = nil
+}
+
+// foldTraffic moves the atomic traffic counters into the report.
+func (s *sortRun[K]) foldTraffic() {
+	s.report.BytesSent = s.bytesSent.Load()
+	s.report.MsgsSent = s.msgsSent.Load()
+	s.report.SampleBytes = s.sampleBytes.Load()
+	s.report.MetaBytes = s.metaBytes.Load()
+	s.report.DataBytes = s.dataBytes.Load()
+}
 
 // entryBytes is the in-memory size of one entry, used for the resident /
 // temporary memory accounting of Figure 11.
@@ -42,25 +122,24 @@ func entryBytes[K cmp.Ordered]() int {
 }
 
 // send stamps the sort id, forwards to the transport and accounts the
-// traffic against this sort.
+// traffic against this sort (lock-free: sends to different destinations
+// run concurrently).
 func (s *sortRun[K]) send(dst int, m comm.Message[K]) error {
 	m.SortID = s.sortID
 	if err := s.node.ep.Send(dst, m); err != nil {
 		return err
 	}
 	bytes := int64(m.LogicalBytes(s.codec.KeySize()))
-	s.statMu.Lock()
-	s.report.BytesSent += bytes
-	s.report.MsgsSent++
+	s.bytesSent.Add(bytes)
+	s.msgsSent.Add(1)
 	switch m.Kind {
 	case comm.KSamples, comm.KSplitters:
-		s.report.SampleBytes += bytes
+		s.sampleBytes.Add(bytes)
 	case comm.KRangeMeta, comm.KControl:
-		s.report.MetaBytes += bytes
+		s.metaBytes.Add(bytes)
 	case comm.KData:
-		s.report.DataBytes += bytes
+		s.dataBytes.Add(bytes)
 	}
-	s.statMu.Unlock()
 	return nil
 }
 
@@ -119,6 +198,7 @@ func (s *sortRun[K]) leaveAllStages() {
 // final merge (CPU).
 func (s *sortRun[K]) run() ([]comm.Entry[K], error) {
 	defer s.leaveAllStages()
+	defer s.foldTraffic()
 
 	if err := s.enterStage(StageLocalSort); err != nil {
 		return nil, err
@@ -146,6 +226,7 @@ func (s *sortRun[K]) run() ([]comm.Entry[K], error) {
 
 	if err := s.enterStage(StageMerge); err != nil {
 		asm.Release()
+		s.node.entryPool.Put(asm.Entries())
 		return nil, err
 	}
 	merged := s.finalMerge(asm)
@@ -157,16 +238,43 @@ func (s *sortRun[K]) run() ([]comm.Entry[K], error) {
 	return merged, nil
 }
 
-// localSort is step 1: parallel local sort (quicksort + balanced merge).
+// localSort is step 1: the parallel local sort. The comparison path is
+// the paper's chunked quicksort + balanced merge; the radix path (taken
+// when the key normalizes to uint64, see Options.LocalSort) replaces the
+// per-chunk quicksort with an LSD byte-radix sort over normalized keys.
+// Both paths draw the entry buffer and merge scratch from the node's
+// slab pool: scratch returns to the pool immediately, the entry buffer
+// once the whole sort joins (its subslices travel through the exchange).
 func (s *sortRun[K]) localSort() []comm.Entry[K] {
 	n := s.node
 	t0 := time.Now()
-	entries := make([]comm.Entry[K], len(s.input))
+	entries := n.entryPool.Get(len(s.input))
 	for i, k := range s.input {
 		entries[i] = comm.Entry[K]{Key: k, Proc: uint32(n.id), Index: uint32(i)}
 	}
-	s.report.ResidentBytes = int64(len(entries)) * int64(entryBytes[K]())
-	lsort.ParallelSort(entries, entryLess[K], s.opts.WorkersPerProc, &n.tracker)
+	s.retire(entries)
+	eb := int64(entryBytes[K]())
+	s.report.ResidentBytes = int64(len(entries)) * eb
+	s.report.LocalSortPath = s.cmps.path
+	if len(entries) > 1 {
+		workers := s.opts.WorkersPerProc
+		if s.cmps.useRadix || workers > 1 {
+			scratch := n.entryPool.Get(len(entries))
+			n.tracker.Alloc(int64(len(scratch)) * eb)
+			if s.cmps.useRadix {
+				norm := s.cmps.norm
+				lsort.ParallelRadixSort(entries, scratch,
+					func(e comm.Entry[K]) uint64 { return norm(e.Key) },
+					s.cmps.normBits, s.cmps.entryLess, workers)
+			} else {
+				lsort.ParallelSortScratch(entries, scratch, s.cmps.entryLess, workers)
+			}
+			n.tracker.Free(int64(len(scratch)) * eb)
+			n.entryPool.Put(scratch)
+		} else {
+			lsort.Quicksort(entries, s.cmps.entryLess)
+		}
+	}
 	s.report.Steps[StepLocalSort] = time.Since(t0)
 	return entries
 }
@@ -208,7 +316,7 @@ func (s *sortRun[K]) splitterAgreement(entries []comm.Entry[K]) ([]K, error) {
 				}
 				runs = append(runs, m.Keys)
 			}
-			splitters = sample.SelectSplitters(runs, p, func(a, b K) bool { return a < b })
+			splitters = sample.SelectSplitters(runs, p, s.cmps.keyLess)
 			for dst := 0; dst < p; dst++ {
 				if dst == master {
 					continue
@@ -248,8 +356,7 @@ func (s *sortRun[K]) partitionExchange(entries []comm.Entry[K], splitters []K) (
 	// ---- Step 4: binary-search range partitioning + metadata bcast ----
 	t0 := time.Now()
 	ranges := sample.Partition(entries, splitters,
-		func(a, b K) bool { return a < b },
-		func(e comm.Entry[K], sp K) bool { return e.Key > sp },
+		s.cmps.keyLess, s.cmps.keyAbove,
 		!s.opts.DisableInvestigator)
 	counts := ranges.Counts()
 	meta := make([]int64, p)
@@ -282,10 +389,15 @@ func (s *sortRun[K]) partitionExchange(entries []comm.Entry[K], splitters []K) (
 
 	// ---- Step 5: simultaneous send and receive at precomputed offsets ----
 	t0 = time.Now()
-	asm := datamgr.NewAssembly[K](n.dm, perSrc, eb)
+	total := 0
+	for _, c := range perSrc {
+		total += c
+	}
+	asm := datamgr.NewAssemblyBuf[K](n.dm, perSrc, eb, n.entryPool.Get(total))
 	defer func() {
 		if err != nil {
 			asm.Release()
+			n.entryPool.Put(asm.Entries())
 		}
 	}()
 	// The local range never touches the network.
@@ -337,6 +449,11 @@ func (s *sortRun[K]) partitionExchange(entries []comm.Entry[K], splitters []K) (
 				return err
 			}
 			got += len(m.Entries)
+			if m.Release != nil {
+				// The entries were decoded into a transport-owned slab
+				// (TCP path) and are copied out now; recycle it.
+				m.Release()
+			}
 		}
 		return nil
 	}
@@ -379,7 +496,11 @@ func (s *sortRun[K]) partitionExchange(entries []comm.Entry[K], splitters []K) (
 	return asm, nil
 }
 
-// finalMerge is step 6: merge the received sorted runs.
+// finalMerge is step 6: merge the received sorted runs. The merge
+// scratch comes from the node's slab pool; whichever of the assembly
+// buffer and the scratch does not end up backing the result is recycled
+// immediately (the result itself becomes resident storage and leaves the
+// pool for good).
 func (s *sortRun[K]) finalMerge(asm *datamgr.Assembly[K]) []comm.Entry[K] {
 	n := s.node
 	p := s.opts.Procs
@@ -396,15 +517,22 @@ func (s *sortRun[K]) finalMerge(asm *datamgr.Assembly[K]) []comm.Entry[K] {
 			runs = append(runs, buf[bounds[i]:bounds[i+1]])
 		}
 		n.tracker.Alloc(int64(len(buf)) * int64(eb))
-		merged = lsort.KWayMerge(runs, entryLess[K])
+		merged = lsort.KWayMerge(runs, s.cmps.entryLess)
 		n.tracker.Free(int64(len(buf)) * int64(eb))
+		asm.Release()
+		n.entryPool.Put(buf) // k-way merged into fresh storage; buf is free
 	default:
-		scratch := make([]comm.Entry[K], len(buf))
+		scratch := n.entryPool.Get(len(buf))
 		n.tracker.Alloc(int64(len(buf)) * int64(eb))
-		merged = lsort.MergeAdjacentRuns(buf, scratch, asm.Bounds(), entryLess[K], true)
+		merged = lsort.MergeAdjacentRuns(buf, scratch, asm.Bounds(), s.cmps.entryLess, true)
 		n.tracker.Free(int64(len(buf)) * int64(eb))
+		asm.Release()
+		if len(merged) > 0 && &merged[0] == &scratch[0] {
+			n.entryPool.Put(buf)
+		} else {
+			n.entryPool.Put(scratch)
+		}
 	}
-	asm.Release()
 	s.report.Steps[StepFinalMerge] = time.Since(t0)
 	return merged
 }

@@ -48,6 +48,52 @@ func (m MergeStrategy) String() string {
 	}
 }
 
+// LocalSortMode selects how step 1 sorts each processor's local data.
+type LocalSortMode int
+
+const (
+	// LocalSortAuto picks the radix fast path when the key type (or the
+	// codec, via comm.KeyNormalizer) advertises an order-preserving
+	// uint64 normalization, and the comparison path otherwise. The
+	// default.
+	LocalSortAuto LocalSortMode = iota
+	// LocalSortComparison forces the paper's comparison path (parallel
+	// quicksort + balanced merge) even for radix-able keys.
+	LocalSortComparison
+	// LocalSortRadix requests the chunked-parallel LSD radix sort over
+	// normalized keys. Keys without a normalization fall back to the
+	// comparison path (reported in Report.LocalSortPath).
+	LocalSortRadix
+)
+
+func (m LocalSortMode) String() string {
+	switch m {
+	case LocalSortAuto:
+		return "auto"
+	case LocalSortComparison:
+		return "comparison"
+	case LocalSortRadix:
+		return "radix"
+	default:
+		return fmt.Sprintf("LocalSortMode(%d)", int(m))
+	}
+}
+
+// ParseLocalSortMode maps a mode name (as printed by String) back to its
+// LocalSortMode.
+func ParseLocalSortMode(s string) (LocalSortMode, error) {
+	switch s {
+	case "auto", "":
+		return LocalSortAuto, nil
+	case "comparison":
+		return LocalSortComparison, nil
+	case "radix":
+		return LocalSortRadix, nil
+	default:
+		return 0, fmt.Errorf("core: unknown local sort mode %q (want auto, comparison or radix)", s)
+	}
+}
+
 // Options configures an Engine. The zero value (after applying defaults)
 // reproduces the paper's configuration; the Disable*/Sync* knobs exist for
 // the ablation experiments.
@@ -68,6 +114,15 @@ type Options struct {
 	DisableInvestigator bool
 	// Merge selects the step-6 strategy. Default MergeBalanced.
 	Merge MergeStrategy
+	// LocalSort selects the step-1 path: LocalSortAuto (default) uses the
+	// non-comparison radix fast path whenever the key normalizes to
+	// uint64, LocalSortComparison/LocalSortRadix force a path. The path
+	// actually taken is reported in Report.LocalSortPath.
+	LocalSort LocalSortMode
+	// DisablePooling turns off the per-node scratch-buffer pools, so
+	// every sort allocates its entry buffers, merge scratch and exchange
+	// assembly fresh (the unpooled baseline for allocation benchmarks).
+	DisablePooling bool
 	// SyncExchange replaces the asynchronous overlap of step 5 with a
 	// bulk-synchronous send-barrier-receive schedule (ablation).
 	SyncExchange bool
@@ -119,6 +174,9 @@ func (o Options) validate() error {
 	}
 	if o.Merge != MergeBalanced && o.Merge != MergeKWay {
 		return fmt.Errorf("core: unknown merge strategy %d", o.Merge)
+	}
+	if o.LocalSort != LocalSortAuto && o.LocalSort != LocalSortComparison && o.LocalSort != LocalSortRadix {
+		return fmt.Errorf("core: unknown local sort mode %d", o.LocalSort)
 	}
 	if o.Transport != transport.KindChan && o.Transport != transport.KindTCP {
 		return fmt.Errorf("core: unknown transport %q", o.Transport)

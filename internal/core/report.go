@@ -157,6 +157,9 @@ type NodeReport struct {
 	// stage boundary waiting to be admitted (zero outside SortMany's
 	// pipelined scheduler).
 	StageWait [NumSchedStages]time.Duration
+	// LocalSortPath is the step-1 path this node took: "radix" (the
+	// non-comparison fast path over normalized keys) or "comparison".
+	LocalSortPath string
 }
 
 // Report aggregates a distributed sort run, providing every measurement
@@ -186,6 +189,9 @@ type Report struct {
 	ResidentBytes int64
 	// SamplesPerProc is the per-processor sample count used (Figure 9/10).
 	SamplesPerProc int
+	// LocalSortPath is the step-1 path the engine resolved for this sort:
+	// "radix" or "comparison" (same on every node; see Options.LocalSort).
+	LocalSortPath string
 	// Sched describes this sort's passage through the SortMany scheduler
 	// (zero value for plain Sort calls).
 	Sched SchedTrace
@@ -239,8 +245,11 @@ func (r *Report) MinMaxPart() (minSize, maxSize int) {
 // String renders a compact human-readable summary.
 func (r *Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "sorted %d entries on %d procs x %d workers in %v\n",
-		r.N, r.Procs, r.Workers, r.Total)
+	fmt.Fprintf(&b, "sorted %d entries on %d procs x %d workers in %v", r.N, r.Procs, r.Workers, r.Total)
+	if r.LocalSortPath != "" {
+		fmt.Fprintf(&b, " (local sort: %s)", r.LocalSortPath)
+	}
+	b.WriteByte('\n')
 	for s := Step(0); s < NumSteps; s++ {
 		fmt.Fprintf(&b, "  %-12s %v\n", s.String(), r.Steps[s])
 	}

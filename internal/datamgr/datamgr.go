@@ -89,6 +89,16 @@ type Assembly[K any] struct {
 // NewAssembly allocates an assembly buffer for perSrc[i] entries from each
 // source i. entryBytes sizes the temporary-memory accounting.
 func NewAssembly[K any](m *Manager, perSrc []int, entryBytes int) *Assembly[K] {
+	return NewAssemblyBuf[K](m, perSrc, entryBytes, nil)
+}
+
+// NewAssemblyBuf is NewAssembly assembling into a caller-provided buffer
+// (e.g. a recycled slab from an alloc.SlabPool) when its capacity covers
+// the expected total; an undersized or nil buf falls back to a fresh
+// allocation. The temporary-memory accounting is identical either way:
+// the assembly is temporary while it is being filled and converts to
+// resident result storage at Release, wherever the bytes came from.
+func NewAssemblyBuf[K any](m *Manager, perSrc []int, entryBytes int, buf []comm.Entry[K]) *Assembly[K] {
 	total := 0
 	offsets := make([]int, len(perSrc)+1)
 	for i, n := range perSrc {
@@ -103,8 +113,13 @@ func NewAssembly[K any](m *Manager, perSrc []int, entryBytes int) *Assembly[K] {
 	for _, n := range perSrc {
 		missing += n
 	}
+	if cap(buf) >= total {
+		buf = buf[:total]
+	} else {
+		buf = make([]comm.Entry[K], total)
+	}
 	a := &Assembly[K]{
-		entries: make([]comm.Entry[K], total),
+		entries: buf,
 		offsets: offsets,
 		cursor:  make([]int, len(perSrc)),
 		expect:  append([]int(nil), perSrc...),

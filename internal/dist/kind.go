@@ -31,6 +31,13 @@ const (
 // Kinds holds the paper's four Figure-4 distributions, in figure order.
 var Kinds = []Kind{Uniform, Normal, RightSkewed, Exponential}
 
+// AllKinds holds every distribution, the paper's four plus the
+// adversarial extras, in declaration order.
+var AllKinds = []Kind{
+	Uniform, Normal, RightSkewed, Exponential,
+	Sorted, ReverseSorted, FewDistinct, Constant,
+}
+
 var kindNames = map[Kind]string{
 	Uniform:       "uniform",
 	Normal:        "normal",

@@ -34,6 +34,9 @@ type Config struct {
 	// Inflight is the SortMany scheduler's admission cap for the
 	// pipeline experiment (default 2).
 	Inflight int
+	// LocalSort forces a step-1 path for every experiment that does not
+	// sweep paths itself (default core.LocalSortAuto).
+	LocalSort core.LocalSortMode
 }
 
 // WithDefaults fills unset fields.
@@ -121,6 +124,9 @@ func (c Config) runPGXD(parts [][]uint64, opts core.Options) (*core.Report, erro
 	}
 	if opts.Transport == "" {
 		opts.Transport = c.Transport
+	}
+	if opts.LocalSort == core.LocalSortAuto {
+		opts.LocalSort = c.LocalSort
 	}
 	var best *core.Report
 	for r := 0; r < c.Reps; r++ {

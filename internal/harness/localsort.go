@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"fmt"
+
+	"pgxsort/internal/core"
+	"pgxsort/internal/dist"
+)
+
+// LocalSortPaths compares the two step-1 paths — the paper's comparison
+// sort (chunked quicksort + balanced merge) and the radix fast path over
+// normalized keys — across every distribution kind. The sortpath column
+// records the path the engine actually resolved (from
+// Report.LocalSortPath), so the CI trajectory CSV captures
+// comparison-vs-radix per commit; the final row checks that LocalSortAuto
+// resolves to radix for the uint64 workload.
+func LocalSortPaths(c Config) ([]Table, error) {
+	c = c.WithDefaults()
+	p := c.Procs[len(c.Procs)/2]
+	t := Table{
+		ID:    "localsort",
+		Title: fmt.Sprintf("Local-sort paths per distribution, p=%d (ms)", p),
+		Header: []string{"kind", "sortpath", "comparison_ms", "radix_ms",
+			"radix_vs_comparison", "localsort_ms_comparison", "localsort_ms_radix"},
+	}
+	for _, kind := range dist.AllKinds {
+		parts := c.parts(kind, p)
+		comparison, err := c.runPGXD(parts, core.Options{LocalSort: core.LocalSortComparison})
+		if err != nil {
+			return nil, err
+		}
+		radix, err := c.runPGXD(parts, core.Options{LocalSort: core.LocalSortRadix})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			kind.String(),
+			radix.LocalSortPath,
+			ms(comparison.Total),
+			ms(radix.Total),
+			fmt.Sprintf("%.2fx", float64(comparison.Total)/float64(radix.Total)),
+			ms(comparison.Steps[core.StepLocalSort]),
+			ms(radix.Steps[core.StepLocalSort]),
+		})
+	}
+	// Auto-resolution row: the default mode must pick radix for uint64.
+	// Run it against a genuinely-Auto config — a -localsort override on
+	// the sweep (Config.LocalSort) must not leak into this row.
+	cAuto := c
+	cAuto.LocalSort = core.LocalSortAuto
+	auto, err := cAuto.runPGXD(c.parts(dist.Uniform, p), core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{"uniform(auto)", auto.LocalSortPath,
+		"-", ms(auto.Total), "-", "-", ms(auto.Steps[core.StepLocalSort])})
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("N=%d keys, %d workers/proc, transport=%s", c.N, c.Workers, c.Transport),
+		"radix skips constant byte columns, so narrow-domain and duplicate-heavy kinds run few passes;",
+		"sortpath is the engine-resolved path (Report.LocalSortPath) under the forced-radix run")
+	return []Table{t}, nil
+}

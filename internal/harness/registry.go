@@ -28,6 +28,7 @@ var registry = []Experiment{
 	{"fig10", "min/max load vs sample size (paper Figure 10)", Fig10},
 	{"fig11", "memory consumption (paper Figure 11)", Fig11},
 	{"pipeline", "SortMany schedules: sequential vs naive vs pipelined (ISSUE 2)", Fig56Pipeline},
+	{"localsort", "local-sort paths: comparison vs radix fast path (ISSUE 3)", LocalSortPaths},
 	{"ablation-investigator", "investigator on/off (DESIGN.md)", AblationInvestigator},
 	{"ablation-merge", "balanced vs k-way merge (DESIGN.md)", AblationMerge},
 	{"ablation-async", "async vs bulk-synchronous exchange (DESIGN.md)", AblationAsync},

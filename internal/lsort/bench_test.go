@@ -43,6 +43,40 @@ func BenchmarkTimSort(b *testing.B) {
 	}
 }
 
+// BenchmarkRadixSort times the non-comparison fast path across all eight
+// distribution kinds; the counting-skip passes make the low-entropy kinds
+// (sorted over a narrow domain, few-distinct, constant) dramatically
+// cheaper than the full eight passes.
+func BenchmarkRadixSort(b *testing.B) {
+	for _, kind := range dist.AllKinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			keys := benchKeys(kind)
+			buf := make([]uint64, len(keys))
+			scratch := make([]uint64, len(keys))
+			b.SetBytes(benchN * 8)
+			for i := 0; i < b.N; i++ {
+				copy(buf, keys)
+				RadixSort(buf, scratch, idU64, 64)
+			}
+		})
+	}
+}
+
+func BenchmarkParallelRadixSort(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			keys := benchKeys(dist.Uniform)
+			buf := make([]uint64, len(keys))
+			scratch := make([]uint64, len(keys))
+			b.SetBytes(benchN * 8)
+			for i := 0; i < b.N; i++ {
+				copy(buf, keys)
+				ParallelRadixSort(buf, scratch, idU64, 64, lessU64, workers)
+			}
+		})
+	}
+}
+
 func BenchmarkStdlibSort(b *testing.B) {
 	keys := benchKeys(dist.Uniform)
 	buf := make([]uint64, len(keys))

@@ -101,14 +101,35 @@ func ParallelSort[E any](s []E, less func(x, y E) bool, workers int, tr *alloc.T
 		Quicksort(s, less)
 		return
 	}
+	var esize int64 = int64(elemSize[E]())
+	scratch := make([]E, n)
+	tr.Alloc(int64(n) * esize)
+	defer tr.Free(int64(n) * esize)
+	ParallelSortScratch(s, scratch, less, workers)
+}
+
+// ParallelSortScratch is ParallelSort with a caller-provided merge
+// scratch buffer (at least len(s) elements), so repeated sorts can
+// recycle the buffer through an alloc.SlabPool instead of reallocating.
+// The sorted result always ends in s; the caller owns the accounting of
+// scratch against its temporary-memory tracker.
+func ParallelSortScratch[E any](s, scratch []E, less func(x, y E) bool, workers int) {
+	n := len(s)
+	if workers < 1 {
+		workers = 1
+	}
+	if workers == 1 || n <= 2*insertionCutoff {
+		Quicksort(s, less)
+		return
+	}
 	if workers > n {
 		workers = n
 	}
-	// Equal chunking, as in the paper: thread i owns chunk i.
-	bounds := make([]int, workers+1)
-	for i := 0; i <= workers; i++ {
-		bounds[i] = i * n / workers
+	if len(scratch) < n {
+		panic("lsort: merge scratch smaller than data")
 	}
+	// Equal chunking, as in the paper: thread i owns chunk i.
+	bounds := chunkBounds(n, workers)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		lo, hi := bounds[i], bounds[i+1]
@@ -123,10 +144,6 @@ func ParallelSort[E any](s []E, less func(x, y E) bool, workers int, tr *alloc.T
 	}
 	wg.Wait()
 
-	var esize int64 = int64(elemSize[E]())
-	scratch := make([]E, n)
-	tr.Alloc(int64(n) * esize)
-	defer tr.Free(int64(n) * esize)
 	out := MergeAdjacentRuns(s, scratch, bounds, less, true)
 	if &out[0] != &s[0] {
 		copy(s, out)

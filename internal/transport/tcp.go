@@ -8,6 +8,7 @@ import (
 	"net"
 	"sync"
 
+	"pgxsort/internal/alloc"
 	"pgxsort/internal/comm"
 )
 
@@ -19,9 +20,14 @@ type tcpNetwork[K any] struct {
 	codec comm.Codec[K]
 	eps   []*tcpEndpoint[K]
 
-	conns   [][]net.Conn // conns[i][j]: write side of i->j (nil when i==j)
-	writers [][]*bufio.Writer
-	wmu     [][]*sync.Mutex
+	conns    [][]net.Conn // conns[i][j]: write side of i->j (nil when i==j)
+	writers  [][]*bufio.Writer
+	wmu      [][]*sync.Mutex
+	payloads [][][]byte // payloads[i][j]: reusable encode buffer, guarded by wmu[i][j]
+
+	// entryPool recycles the slabs readLoop decodes entry chunks into;
+	// consumers hand them back through Message.Release once copied out.
+	entryPool alloc.SlabPool[comm.Entry[K]]
 
 	listeners []net.Listener
 	readersWG sync.WaitGroup
@@ -63,10 +69,12 @@ func NewTCP[K any](p int, codec comm.Codec[K]) (Network[K], error) {
 	n.conns = make([][]net.Conn, p)
 	n.writers = make([][]*bufio.Writer, p)
 	n.wmu = make([][]*sync.Mutex, p)
+	n.payloads = make([][][]byte, p)
 	for i := 0; i < p; i++ {
 		n.conns[i] = make([]net.Conn, p)
 		n.writers[i] = make([]*bufio.Writer, p)
 		n.wmu[i] = make([]*sync.Mutex, p)
+		n.payloads[i] = make([][]byte, p)
 		for j := 0; j < p; j++ {
 			n.wmu[i][j] = &sync.Mutex{}
 		}
@@ -178,6 +186,7 @@ func (n *tcpNetwork[K]) readLoop(conn net.Conn, src, dst int) {
 	r := bufio.NewReaderSize(conn, writeBufBytes)
 	ks := n.codec.KeySize()
 	ep := n.eps[dst]
+	var buf []byte
 	for {
 		var hdr [headerBytes]byte
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -193,17 +202,25 @@ func (n *tcpNetwork[K]) readLoop(conn net.Conn, src, dst int) {
 		nKeys := int(int32(binary.LittleEndian.Uint32(hdr[13:])))
 		nInts := int(int32(binary.LittleEndian.Uint32(hdr[17:])))
 		payload := nEntries*(ks+8) + nKeys*ks + nInts*8
-		buf := make([]byte, payload)
+		// The frame buffer is reused across iterations: every decode
+		// below copies out of it before the next frame overwrites it.
+		if cap(buf) < payload {
+			buf = make([]byte, payload)
+		}
+		buf = buf[:payload]
 		if _, err := io.ReadFull(r, buf); err != nil {
 			return
 		}
 		rest := buf
 		var err error
 		if nEntries > 0 {
-			m.Entries, rest, err = comm.DecodeEntries(rest, nEntries, n.codec)
+			var ents []comm.Entry[K]
+			ents, rest, err = comm.DecodeEntriesSlab(rest, nEntries, n.codec, &n.entryPool)
 			if err != nil {
 				return
 			}
+			m.Entries = ents
+			m.Release = func() { n.entryPool.Put(ents) }
 		}
 		if nKeys > 0 {
 			m.Keys, rest, err = comm.DecodeKeys(rest, nKeys, n.codec)
@@ -249,11 +266,6 @@ func (e *tcpEndpoint[K]) Send(dst int, m comm.Message[K]) error {
 	binary.LittleEndian.PutUint32(hdr[13:], uint32(len(m.Keys)))
 	binary.LittleEndian.PutUint32(hdr[17:], uint32(len(m.Ints)))
 
-	payload := make([]byte, 0, logical)
-	payload = comm.EncodeEntries(payload, m.Entries, n.codec)
-	payload = comm.EncodeKeys(payload, m.Keys, n.codec)
-	payload = comm.EncodeInts(payload, m.Ints)
-
 	mu := n.wmu[e.id][dst]
 	mu.Lock()
 	defer mu.Unlock()
@@ -261,6 +273,13 @@ func (e *tcpEndpoint[K]) Send(dst int, m comm.Message[K]) error {
 	if w == nil {
 		return errClosed
 	}
+	// Encode into the per-connection buffer (guarded by wmu): one exact
+	// allocation the first time a size class is hit, reused afterwards.
+	payload := n.payloads[e.id][dst][:0]
+	payload = comm.EncodeEntries(payload, m.Entries, n.codec)
+	payload = comm.EncodeKeys(payload, m.Keys, n.codec)
+	payload = comm.EncodeInts(payload, m.Ints)
+	n.payloads[e.id][dst] = payload
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}

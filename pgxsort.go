@@ -50,6 +50,9 @@ type (
 	Options = core.Options
 	// MergeStrategy selects the step-6 merge implementation.
 	MergeStrategy = core.MergeStrategy
+	// LocalSortMode selects the step-1 local sort path: automatic
+	// fast-path detection, or forced comparison/radix.
+	LocalSortMode = core.LocalSortMode
 	// Report holds the measurements of one distributed sort.
 	Report = core.Report
 	// NodeReport holds one processor's measurements.
@@ -86,6 +89,21 @@ const (
 	MergeBalanced = core.MergeBalanced
 	MergeKWay     = core.MergeKWay
 )
+
+// Local sort paths (Options.LocalSort). LocalSortAuto (the default)
+// takes the non-comparison radix fast path whenever the key type — or
+// the codec, by implementing comm.KeyNormalizer — provides an
+// order-preserving uint64 normalization (uint64, int64, float64, uint32
+// are built in), and the paper's comparison path otherwise. The path a
+// sort actually took is in Report.LocalSortPath.
+const (
+	LocalSortAuto       = core.LocalSortAuto
+	LocalSortComparison = core.LocalSortComparison
+	LocalSortRadix      = core.LocalSortRadix
+)
+
+// ParseLocalSortMode parses "auto", "comparison" or "radix".
+func ParseLocalSortMode(s string) (LocalSortMode, error) { return core.ParseLocalSortMode(s) }
 
 // Transports.
 const (
