@@ -20,6 +20,7 @@ import (
 
 	"pgxsort/internal/core"
 	"pgxsort/internal/harness"
+	tp "pgxsort/internal/transport"
 )
 
 func main() {
@@ -31,6 +32,8 @@ func main() {
 		workers   = flag.Int("workers", 2, "worker threads per processor")
 		seed      = flag.Uint64("seed", 0, "generator seed (0 = default)")
 		transport = flag.String("transport", "chan", "transport: chan or tcp")
+		listen    = flag.String("listen", "", "comma-separated per-node TCP listen addresses (tcp transport; must match every -procs value)")
+		peers     = flag.String("peers", "", "comma-separated per-node TCP dial addresses (tcp transport; must match every -procs value)")
 		twScale   = flag.Int("twitter-scale", 16, "RMAT scale of the Twitter stand-in (2^scale vertices)")
 		reps      = flag.Int("reps", 1, "repetitions per timed point (fastest kept)")
 		csvOut    = flag.String("csv", "", "CSV output: a directory for per-table files, or '-' for stdout (tables then go to stderr)")
@@ -66,6 +69,11 @@ func main() {
 		Reps:         *reps,
 		Inflight:     *inflight,
 		LocalSort:    lsMode,
+		ListenAddrs:  tp.SplitAddrs(*listen),
+		PeerAddrs:    tp.SplitAddrs(*peers),
+	}
+	if (len(cfg.ListenAddrs) > 0 || len(cfg.PeerAddrs) > 0) && *transport != "tcp" {
+		fatal(fmt.Errorf("-listen/-peers require -transport tcp"))
 	}
 
 	tables, err := harness.Run(expIDs(*exp, *pipeline), cfg)

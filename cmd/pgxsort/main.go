@@ -22,6 +22,7 @@ import (
 
 	"pgxsort"
 	"pgxsort/internal/dist"
+	tp "pgxsort/internal/transport"
 )
 
 func main() {
@@ -50,7 +51,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: pgxsort <generate|sort|verify|describe> [flags]
   generate -kind <uniform|normal|right-skewed|exponential|...> -n N [-seed S] [-domain D] -out FILE
-  sort     -in FILE -out FILE [-procs P] [-workers W] [-transport chan|tcp] [-sample-factor F] [-no-investigator] [-localsort auto|comparison|radix]
+  sort     -in FILE -out FILE [-procs P] [-workers W] [-transport chan|tcp] [-listen A1,..,AP] [-peers A1,..,AP] [-sample-factor F] [-no-investigator] [-localsort auto|comparison|radix]
   verify   -in FILE
   describe -in FILE`)
 	os.Exit(2)
@@ -90,6 +91,8 @@ func cmdSort(args []string) error {
 	procs := fs.Int("procs", 8, "simulated processors")
 	workers := fs.Int("workers", 2, "workers per processor")
 	transport := fs.String("transport", "chan", "transport: chan or tcp")
+	listen := fs.String("listen", "", "comma-separated per-node TCP listen addresses (tcp transport; empty = loopback ephemeral)")
+	peers := fs.String("peers", "", "comma-separated per-node TCP dial addresses (tcp transport; empty = the bound listen addresses)")
 	factor := fs.Float64("sample-factor", 1.0, "sample size factor (paper's X multiplier)")
 	noInv := fs.Bool("no-investigator", false, "disable the duplicate-splitter investigator")
 	localSort := fs.String("localsort", "auto", "local sort path: auto, comparison or radix")
@@ -101,6 +104,10 @@ func cmdSort(args []string) error {
 	if err != nil {
 		return fmt.Errorf("sort: %w", err)
 	}
+	tcpCfg, err := tcpConfig(*transport, *listen, *peers, *procs)
+	if err != nil {
+		return fmt.Errorf("sort: %w", err)
+	}
 	keys, err := readKeys(*in)
 	if err != nil {
 		return err
@@ -109,6 +116,7 @@ func cmdSort(args []string) error {
 		Procs:               *procs,
 		WorkersPerProc:      *workers,
 		Transport:           *transport,
+		TCP:                 tcpCfg,
 		SampleFactor:        *factor,
 		DisableInvestigator: *noInv,
 		LocalSort:           lsMode,
@@ -178,6 +186,27 @@ func cmdDescribe(args []string) error {
 	h := dist.NewHistogram(keys, domain, 16)
 	fmt.Print(h.Render(48))
 	return nil
+}
+
+// tcpConfig assembles the transport config from the -listen/-peers
+// flags, validating them against the processor count.
+func tcpConfig(transport, listen, peers string, procs int) (pgxsort.TransportConfig, error) {
+	var cfg pgxsort.TransportConfig
+	if listen == "" && peers == "" {
+		return cfg, nil
+	}
+	if transport != pgxsort.TransportTCP {
+		return cfg, fmt.Errorf("-listen/-peers require -transport tcp")
+	}
+	cfg.Listen = tp.SplitAddrs(listen)
+	cfg.Peers = tp.SplitAddrs(peers)
+	if len(cfg.Listen) > 0 && len(cfg.Listen) != procs {
+		return cfg, fmt.Errorf("-listen names %d addresses for %d processors", len(cfg.Listen), procs)
+	}
+	if len(cfg.Peers) > 0 && len(cfg.Peers) != procs {
+		return cfg, fmt.Errorf("-peers names %d addresses for %d processors", len(cfg.Peers), procs)
+	}
+	return cfg, nil
 }
 
 func writeKeys(path string, keys []uint64) error {

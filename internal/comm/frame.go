@@ -1,0 +1,31 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DefaultMaxFrameBytes is the default cap on one framed message's payload
+// (entries + keys + ints in wire form). The engine's data manager chunks
+// exchange traffic into BufferBytes-sized requests (256KB by default), so
+// a frame anywhere near this cap means a corrupt header or a
+// misconfigured sender — both sides of the wire enforce it.
+const DefaultMaxFrameBytes = 64 << 20
+
+// ErrFrameTooLarge reports a frame whose payload exceeds the configured
+// maximum. Senders surface it from Send before any bytes move; receivers
+// treat it as a protocol violation and drop the connection rather than
+// trust the header to size an allocation.
+var ErrFrameTooLarge = errors.New("comm: frame exceeds maximum size")
+
+// CheckFrame validates a payload size against a maximum (0 means
+// DefaultMaxFrameBytes). The returned error wraps ErrFrameTooLarge.
+func CheckFrame(payloadBytes, maxBytes int) error {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxFrameBytes
+	}
+	if payloadBytes < 0 || payloadBytes > maxBytes {
+		return fmt.Errorf("%w: %d bytes > %d", ErrFrameTooLarge, payloadBytes, maxBytes)
+	}
+	return nil
+}

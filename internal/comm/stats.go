@@ -3,6 +3,7 @@ package comm
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 )
 
 // Stats counts traffic through one endpoint. All methods are safe for
@@ -14,6 +15,14 @@ type Stats struct {
 	msgsRecv  atomic.Int64
 	// Per-kind byte counters, indexed by Kind (small fixed range).
 	kindBytesSent [KControl + 1]atomic.Int64
+
+	// Transport-health counters (all zero on the in-process transport):
+	// time Send spent blocked on a full per-peer window, connections
+	// re-established after a failure, and frames retransmitted across
+	// reconnects.
+	stallNanos atomic.Int64
+	reconnects atomic.Int64
+	resent     atomic.Int64
 }
 
 // CountSend records an outgoing message of the given kind and size.
@@ -57,6 +66,42 @@ func (s *Stats) KindBytesSent(kind Kind) int64 {
 	return s.kindBytesSent[kind].Load()
 }
 
+// CountStall records time a sender spent blocked on backpressure.
+func (s *Stats) CountStall(d time.Duration) {
+	if s == nil || d <= 0 {
+		return
+	}
+	s.stallNanos.Add(int64(d))
+}
+
+// CountReconnect records one re-established connection.
+func (s *Stats) CountReconnect() {
+	if s == nil {
+		return
+	}
+	s.reconnects.Add(1)
+}
+
+// CountResent records frames retransmitted after a reconnect.
+func (s *Stats) CountResent(frames int) {
+	if s == nil || frames <= 0 {
+		return
+	}
+	s.resent.Add(int64(frames))
+}
+
+// SendStall reports the total time Send spent blocked on full per-peer
+// windows (slow-peer backpressure).
+func (s *Stats) SendStall() time.Duration { return time.Duration(s.stallNanos.Load()) }
+
+// Reconnects reports how many times this endpoint's outbound links
+// re-established a connection after a failure.
+func (s *Stats) Reconnects() int64 { return s.reconnects.Load() }
+
+// FramesResent reports how many frames were retransmitted across
+// reconnects.
+func (s *Stats) FramesResent() int64 { return s.resent.Load() }
+
 // Add accumulates other into s (used to total per-node stats).
 func (s *Stats) Add(other *Stats) {
 	if other == nil {
@@ -69,6 +114,9 @@ func (s *Stats) Add(other *Stats) {
 	for k := range s.kindBytesSent {
 		s.kindBytesSent[k].Add(other.kindBytesSent[k].Load())
 	}
+	s.stallNanos.Add(other.stallNanos.Load())
+	s.reconnects.Add(other.reconnects.Load())
+	s.resent.Add(other.resent.Load())
 }
 
 // String summarizes the counters.

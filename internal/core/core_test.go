@@ -25,7 +25,7 @@ func newTestEngine(t testing.TB, opts Options) *Engine[uint64] {
 	if err != nil {
 		t.Fatalf("NewEngine: %v", err)
 	}
-	t.Cleanup(e.Close)
+	t.Cleanup(func() { e.Close() })
 	return e
 }
 

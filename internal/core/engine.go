@@ -25,6 +25,7 @@ type Engine[K cmp.Ordered] struct {
 	nodes      []*node[K]
 	nextSortID atomic.Int32
 	closeOnce  sync.Once
+	closeErr   error
 	dispatchWG sync.WaitGroup
 
 	// norm is the order-preserving uint64 normalization of K (nil when K
@@ -67,9 +68,14 @@ func NewEngine[K cmp.Ordered](opts Options, codec comm.Codec[K]) (*Engine[K], er
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	net, err := transport.New(opts.Transport, opts.Procs, codec)
+	net, err := transport.NewWithConfig(opts.Transport, opts.Procs, codec, opts.TCP)
 	if err != nil {
 		return nil, err
+	}
+	// Faults wrap the base network directly (they need its Resetter);
+	// jitter layers on top, so delayed sends still hit the faulty path.
+	if opts.Faults != nil {
+		net = transport.WithFaults(net, *opts.Faults)
 	}
 	if opts.JitterMaxDelay > 0 {
 		net = transport.WithJitter(net, opts.JitterMaxDelay, opts.JitterSeed)
@@ -106,15 +112,20 @@ func NewEngine[K cmp.Ordered](opts Options, codec comm.Codec[K]) (*Engine[K], er
 // Options returns the resolved engine configuration.
 func (e *Engine[K]) Options() Options { return e.opts }
 
-// Close shuts the cluster down. In-flight sorts fail; Close is idempotent.
-func (e *Engine[K]) Close() {
+// Close shuts the cluster down: the transport drains in-flight frames
+// (bounded by Options.TCP.DrainTimeout on TCP), listeners and
+// connections close, and the workers stop. In-flight sorts fail; Close
+// is idempotent and returns the first real transport failure it observed
+// (a broken link, a non-shutdown accept error, or a drain timeout).
+func (e *Engine[K]) Close() error {
 	e.closeOnce.Do(func() {
-		e.net.Close()
+		e.closeErr = e.net.Close()
 		e.dispatchWG.Wait()
 		for _, n := range e.nodes {
 			n.pool.Close()
 		}
 	})
+	return e.closeErr
 }
 
 // dispatch routes inbound messages into (sortID, kind) mailboxes until the
@@ -349,6 +360,11 @@ func (e *Engine[K]) sortOne(ctx context.Context, parts [][]K, ctrl *stageCtrl) (
 		if nr.SamplesSent > rep.SamplesPerProc {
 			rep.SamplesPerProc = nr.SamplesSent
 		}
+		if nr.SendStall > rep.SendStall {
+			rep.SendStall = nr.SendStall
+		}
+		rep.Reconnects += nr.Reconnects
+		rep.FramesResent += nr.FramesResent
 	}
 	rep.CommTime = rep.Steps[StepSampling] + rep.Steps[StepSplitters] + rep.Steps[StepExchange]
 	rep.LocalSortPath = cmps.path

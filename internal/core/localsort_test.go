@@ -30,7 +30,7 @@ func sortKeysWith[K interface {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(eng.Close)
+	t.Cleanup(func() { eng.Close() })
 	parts := make([][]K, opts.Procs)
 	for i := range parts {
 		lo := i * len(keys) / opts.Procs

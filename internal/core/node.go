@@ -42,6 +42,13 @@ type sortRun[K cmp.Ordered] struct {
 	// after every node has joined.
 	retired [][]comm.Entry[K]
 
+	// Transport-health baselines captured when the run starts; the
+	// endpoint counters are cumulative over the engine's lifetime, so
+	// the report carries the delta accrued during this sort.
+	stall0      time.Duration
+	reconnects0 int64
+	resent0     int64
+
 	stageArrived [NumSchedStages]bool
 	stageLeft    [NumSchedStages]bool
 }
@@ -105,13 +112,27 @@ func (s *sortRun[K]) recycleRetired() {
 	s.retired = nil
 }
 
-// foldTraffic moves the atomic traffic counters into the report.
+// foldTraffic moves the atomic traffic counters into the report, along
+// with the transport-health deltas accrued since the run started.
 func (s *sortRun[K]) foldTraffic() {
 	s.report.BytesSent = s.bytesSent.Load()
 	s.report.MsgsSent = s.msgsSent.Load()
 	s.report.SampleBytes = s.sampleBytes.Load()
 	s.report.MetaBytes = s.metaBytes.Load()
 	s.report.DataBytes = s.dataBytes.Load()
+	st := s.node.ep.Stats()
+	s.report.SendStall = st.SendStall() - s.stall0
+	s.report.Reconnects = st.Reconnects() - s.reconnects0
+	s.report.FramesResent = st.FramesResent() - s.resent0
+}
+
+// markTransportBaseline snapshots the endpoint's cumulative health
+// counters so foldTraffic can report per-sort deltas.
+func (s *sortRun[K]) markTransportBaseline() {
+	st := s.node.ep.Stats()
+	s.stall0 = st.SendStall()
+	s.reconnects0 = st.Reconnects()
+	s.resent0 = st.FramesResent()
 }
 
 // entryBytes is the in-memory size of one entry, used for the resident /
@@ -197,6 +218,7 @@ func (s *sortRun[K]) leaveAllStages() {
 // sample/splitter agreement (comm), partition+exchange (comm-heavy),
 // final merge (CPU).
 func (s *sortRun[K]) run() ([]comm.Entry[K], error) {
+	s.markTransportBaseline()
 	defer s.leaveAllStages()
 	defer s.foldTraffic()
 

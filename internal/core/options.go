@@ -129,6 +129,18 @@ type Options struct {
 	// Transport selects the network: transport.KindChan (default) or
 	// transport.KindTCP.
 	Transport string
+	// TCP shapes the TCP transport for real clusters: listen/dial
+	// addresses per node, connect timeout and retry backoff, read/write/
+	// ack deadlines, frame-size limit and per-link send windows. The zero
+	// value is the loopback default. Ignored by the chan transport.
+	TCP transport.Config
+	// Faults, when non-nil, wraps the network with the fault-injection
+	// harness (transport.WithFaults): connection resets and delays on a
+	// deterministic schedule, used by the chaos tests to prove a sort
+	// survives mid-exchange connection loss. The plan must be
+	// recoverable (no drops or duplicates): the engine requires reliable
+	// delivery.
+	Faults *transport.FaultPlan
 	// Master is the processor that selects splitters. Default 0.
 	Master int
 	// JitterMaxDelay injects a pseudo-random delay in [0, JitterMaxDelay)
@@ -180,6 +192,12 @@ func (o Options) validate() error {
 	}
 	if o.Transport != transport.KindChan && o.Transport != transport.KindTCP {
 		return fmt.Errorf("core: unknown transport %q", o.Transport)
+	}
+	if len(o.TCP.LocalNodes) > 0 {
+		return fmt.Errorf("core: the engine hosts every node; TCP.LocalNodes is only for transport-level partial meshes")
+	}
+	if o.Faults != nil && !o.Faults.Recoverable() {
+		return fmt.Errorf("core: fault plan drops or duplicates messages; the engine requires reliable delivery (use resets/delays)")
 	}
 	return nil
 }

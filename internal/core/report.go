@@ -157,6 +157,19 @@ type NodeReport struct {
 	// stage boundary waiting to be admitted (zero outside SortMany's
 	// pipelined scheduler).
 	StageWait [NumSchedStages]time.Duration
+	// SendStall is the time this node's sends spent blocked on full
+	// per-peer windows during this sort — the slow-peer backpressure
+	// signal. Zero on the in-process transport. The counters are
+	// per-endpoint deltas over the sort's lifetime, so when sorts overlap
+	// on one engine (pipelined SortMany) trouble that accrues during the
+	// overlap is counted by every sort in flight; sum per-sort values
+	// with that in mind.
+	SendStall time.Duration
+	// Reconnects / FramesResent count connections this node's outbound
+	// links re-established (and frames they retransmitted) during this
+	// sort. Zero outside fault injection and real network trouble.
+	Reconnects   int64
+	FramesResent int64
 	// LocalSortPath is the step-1 path this node took: "radix" (the
 	// non-comparison fast path over normalized keys) or "comparison".
 	LocalSortPath string
@@ -189,6 +202,15 @@ type Report struct {
 	ResidentBytes int64
 	// SamplesPerProc is the per-processor sample count used (Figure 9/10).
 	SamplesPerProc int
+	// SendStall is the worst per-node slow-peer stall (time sends spent
+	// blocked on full transport windows); Reconnects and FramesResent
+	// total the connections re-established and frames retransmitted
+	// across nodes. All zero on a healthy in-process run. Overlapping
+	// SortMany sorts each count trouble that accrues while they are in
+	// flight (see NodeReport.SendStall).
+	SendStall    time.Duration
+	Reconnects   int64
+	FramesResent int64
 	// LocalSortPath is the step-1 path the engine resolved for this sort:
 	// "radix" or "comparison" (same on every node; see Options.LocalSort).
 	LocalSortPath string
@@ -256,6 +278,10 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "  comm: %d msgs, %d bytes (samples %d, meta %d, data %d)\n",
 		r.MsgsSent, r.BytesSent, r.SampleBytes, r.MetaBytes, r.DataBytes)
 	fmt.Fprintf(&b, "  memory: %d resident, %d temp peak\n", r.ResidentBytes, r.TempPeakBytes)
+	if r.SendStall > 0 || r.Reconnects > 0 {
+		fmt.Fprintf(&b, "  transport: %v worst send stall, %d reconnects, %d frames resent\n",
+			r.SendStall, r.Reconnects, r.FramesResent)
+	}
 	fmt.Fprintf(&b, "  balance: %.3f (max/avg), parts %v\n", r.LoadImbalance(), r.PartSizes())
 	if r.Sched.Pipelined {
 		fmt.Fprintf(&b, "  sched: %s", r.Sched.String())

@@ -37,6 +37,12 @@ type Config struct {
 	// LocalSort forces a step-1 path for every experiment that does not
 	// sweep paths itself (default core.LocalSortAuto).
 	LocalSort core.LocalSortMode
+	// ListenAddrs / PeerAddrs bind the TCP transport to explicit
+	// addresses (the CLIs' -listen/-peers flags). They only apply when a
+	// sweep point's processor count matches their length; other points
+	// error out rather than silently fall back to loopback.
+	ListenAddrs []string
+	PeerAddrs   []string
 }
 
 // WithDefaults fills unset fields.
@@ -127,6 +133,16 @@ func (c Config) runPGXD(parts [][]uint64, opts core.Options) (*core.Report, erro
 	}
 	if opts.LocalSort == core.LocalSortAuto {
 		opts.LocalSort = c.LocalSort
+	}
+	if len(c.ListenAddrs) > 0 || len(c.PeerAddrs) > 0 {
+		if len(c.ListenAddrs) > 0 && len(c.ListenAddrs) != opts.Procs {
+			return nil, fmt.Errorf("harness: %d listen addresses for a %d-processor point", len(c.ListenAddrs), opts.Procs)
+		}
+		if len(c.PeerAddrs) > 0 && len(c.PeerAddrs) != opts.Procs {
+			return nil, fmt.Errorf("harness: %d peer addresses for a %d-processor point", len(c.PeerAddrs), opts.Procs)
+		}
+		opts.TCP.Listen = c.ListenAddrs
+		opts.TCP.Peers = c.PeerAddrs
 	}
 	var best *core.Report
 	for r := 0; r < c.Reps; r++ {

@@ -337,6 +337,29 @@ func TestAblationsRun(t *testing.T) {
 	}
 }
 
+func TestChaosRuns(t *testing.T) {
+	c := tinyConfig()
+	c.Procs = []int{3}
+	tabs, err := Chaos(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tabs[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("chaos rows = %d, want 3 schedules", len(rows))
+	}
+	for _, row := range rows {
+		if row[len(row)-1] != "yes" {
+			t.Fatalf("chaos row %v not sorted: resets must be recovered", row)
+		}
+	}
+	// The aggressive schedule must actually have injected something:
+	// column 3 is the reconnect count.
+	if rows[2][3] == "0" {
+		t.Errorf("reset_every=%s row recorded zero reconnects", rows[2][0])
+	}
+}
+
 func TestRunAllIDs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")

@@ -29,6 +29,7 @@ var registry = []Experiment{
 	{"fig11", "memory consumption (paper Figure 11)", Fig11},
 	{"pipeline", "SortMany schedules: sequential vs naive vs pipelined (ISSUE 2)", Fig56Pipeline},
 	{"localsort", "local-sort paths: comparison vs radix fast path (ISSUE 3)", LocalSortPaths},
+	{"chaos", "TCP transport under injected connection resets (ISSUE 4)", Chaos},
 	{"ablation-investigator", "investigator on/off (DESIGN.md)", AblationInvestigator},
 	{"ablation-merge", "balanced vs k-way merge (DESIGN.md)", AblationMerge},
 	{"ablation-async", "async vs bulk-synchronous exchange (DESIGN.md)", AblationAsync},

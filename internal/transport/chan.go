@@ -57,7 +57,8 @@ func (e *chanEndpoint[K]) ID() int            { return e.id }
 func (e *chanEndpoint[K]) P() int             { return e.net.p }
 func (e *chanEndpoint[K]) Stats() *comm.Stats { return &e.stats }
 
-var errClosed = errors.New("transport: network closed")
+// ErrClosed reports a send or receive on a network that has been closed.
+var ErrClosed = errors.New("transport: network closed")
 
 func (e *chanEndpoint[K]) Send(dst int, m comm.Message[K]) error {
 	if dst < 0 || dst >= e.net.p {
@@ -73,7 +74,7 @@ func (e *chanEndpoint[K]) Send(dst int, m comm.Message[K]) error {
 		target.stats.CountRecv(bytes)
 		return nil
 	case <-e.net.done:
-		return errClosed
+		return ErrClosed
 	}
 }
 

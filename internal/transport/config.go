@@ -1,0 +1,235 @@
+package transport
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pgxsort/internal/comm"
+)
+
+// SplitAddrs parses a comma-separated address list into the per-node
+// slices Config.Listen/Peers take ("" -> nil). Entries are trimmed but
+// empty entries are kept: an empty slot means "use the default" for
+// that node, so "-listen ,:7402" intentionally defaults node 0.
+func SplitAddrs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// Config shapes the TCP transport for real clusters. The zero value
+// reproduces the historical loopback behaviour: every node listens on an
+// ephemeral 127.0.0.1 port and dials its peers' actual bound addresses.
+// All durations and sizes default when zero; explicit addresses make the
+// mesh bindable to real interfaces.
+type Config struct {
+	// Listen[i] is the address node i binds its listener to (host:port).
+	// Empty (or a missing entry) means "127.0.0.1:0". A ":0" port asks
+	// the kernel for an ephemeral one.
+	Listen []string
+	// Peers[i] is the address other nodes dial to reach node i. Empty (or
+	// a missing entry) means "whatever node i's listener actually bound",
+	// which only works when every node lives in this process. On a real
+	// cluster Peers carries the advertised per-host addresses.
+	Peers []string
+	// LocalNodes restricts which nodes this process materializes: only
+	// their listeners, endpoints and outbound links exist; Endpoint(i)
+	// returns nil for the others. Nil means all nodes are local (the
+	// single-process default). The engine requires all nodes local; the
+	// partial form is the seam for running one transport node per host.
+	LocalNodes []int
+
+	// ConnectTimeout bounds one dial plus its handshake. Default 5s.
+	ConnectTimeout time.Duration
+	// RetryBase / RetryMax shape the exponential backoff between
+	// (re)connect attempts: base doubles per failure, capped at max, with
+	// ±25% jitter so restarting peers do not reconnect in lockstep.
+	// Defaults 50ms / 2s.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// DialAttempts is how many consecutive no-progress connection cycles
+	// a link tolerates before it is declared broken (a cycle makes
+	// progress when at least one frame is acknowledged). Default 20 —
+	// with the default backoff that rides out ~30s of connection-level
+	// downtime (resets, partitions, a peer that starts late). It does
+	// NOT cover a peer process restarting after frames have flowed: the
+	// restarted peer loses its receive-sequence state and cannot resync
+	// mid-stream, so such links break deterministically.
+	DialAttempts int
+
+	// WriteTimeout bounds writing one frame to the socket. Default 30s.
+	WriteTimeout time.Duration
+	// ReadTimeout bounds reading a frame's payload once its header has
+	// arrived (idle connections carry no deadline: a quiet peer is not a
+	// dead peer, but a half-frame must complete promptly). Default 30s.
+	ReadTimeout time.Duration
+	// AckTimeout bounds how long a written frame may remain
+	// unacknowledged before the link declares the connection dead and
+	// redials. Default 30s.
+	AckTimeout time.Duration
+
+	// MaxFrameBytes rejects oversized frames on both sides of the wire:
+	// senders fail fast with comm.ErrFrameTooLarge, receivers drop the
+	// connection instead of trusting a corrupt header to size an
+	// allocation. Default comm.DefaultMaxFrameBytes.
+	MaxFrameBytes int
+	// WindowFrames bounds each link's in-flight frames (queued plus
+	// written-but-unacknowledged). A full window blocks Send — that is
+	// the per-connection backpressure, and the blocked time is what
+	// Report surfaces as slow-peer stall. Default 32.
+	WindowFrames int
+	// DrainTimeout bounds how long Close waits for in-flight frames to
+	// be delivered and acknowledged before tearing the mesh down anyway.
+	// Default 5s.
+	DrainTimeout time.Duration
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (c Config) withDefaults() Config {
+	if c.ConnectTimeout <= 0 {
+		c.ConnectTimeout = 5 * time.Second
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 50 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 2 * time.Second
+	}
+	if c.DialAttempts <= 0 {
+		c.DialAttempts = 20
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = 30 * time.Second
+	}
+	if c.MaxFrameBytes <= 0 {
+		c.MaxFrameBytes = comm.DefaultMaxFrameBytes
+	}
+	if c.WindowFrames <= 0 {
+		c.WindowFrames = 32
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// validate rejects shapes that cannot form a p-node mesh.
+func (c Config) validate(p int) error {
+	if len(c.Listen) > p {
+		return fmt.Errorf("transport: %d listen addresses for %d nodes", len(c.Listen), p)
+	}
+	if len(c.Peers) > p {
+		return fmt.Errorf("transport: %d peer addresses for %d nodes", len(c.Peers), p)
+	}
+	seen := make(map[int]bool, len(c.LocalNodes))
+	for _, i := range c.LocalNodes {
+		if i < 0 || i >= p {
+			return fmt.Errorf("transport: local node %d out of range [0,%d)", i, p)
+		}
+		if seen[i] {
+			return fmt.Errorf("transport: local node %d listed twice", i)
+		}
+		seen[i] = true
+	}
+	// A node that is not local must be dialable through an explicit peer
+	// address: its listener does not exist in this process.
+	if len(c.LocalNodes) > 0 {
+		for i := 0; i < p; i++ {
+			if !seen[i] && (i >= len(c.Peers) || c.Peers[i] == "") {
+				return fmt.Errorf("transport: remote node %d needs a Peers address", i)
+			}
+		}
+	}
+	return nil
+}
+
+// listenAddr returns the address node i should bind.
+func (c Config) listenAddr(i int) string {
+	if i < len(c.Listen) && c.Listen[i] != "" {
+		return c.Listen[i]
+	}
+	return "127.0.0.1:0"
+}
+
+// peerAddr returns the configured dial address for node i ("" when the
+// caller should fall back to the node's actual bound address).
+func (c Config) peerAddr(i int) string {
+	if i < len(c.Peers) && c.Peers[i] != "" {
+		return c.Peers[i]
+	}
+	return ""
+}
+
+// localSet resolves LocalNodes into a membership table (all-true when
+// LocalNodes is nil).
+func (c Config) localSet(p int) []bool {
+	local := make([]bool, p)
+	if len(c.LocalNodes) == 0 {
+		for i := range local {
+			local[i] = true
+		}
+		return local
+	}
+	for _, i := range c.LocalNodes {
+		local[i] = true
+	}
+	return local
+}
+
+// DeadlineError reports an expired transport deadline: a frame write, a
+// payload read, or waiting for a frame's acknowledgement. It unwraps to
+// the underlying cause; IsTimeout marks it as a timeout condition.
+type DeadlineError struct {
+	// Op is which deadline expired: "write", "read" or "await-ack".
+	Op string
+	// Src and Dst identify the link.
+	Src, Dst int
+	// Timeout is the configured deadline that expired.
+	Timeout time.Duration
+	// Err is the underlying error (may be nil for await-ack).
+	Err error
+}
+
+func (e *DeadlineError) Error() string {
+	msg := fmt.Sprintf("transport: %s deadline (%v) expired on link %d->%d", e.Op, e.Timeout, e.Src, e.Dst)
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+func (e *DeadlineError) Unwrap() error { return e.Err }
+
+// IsTimeout marks the error as a timeout for net.Error-style checks.
+func (e *DeadlineError) IsTimeout() bool { return true }
+
+// LinkError reports a link declared permanently broken after exhausting
+// its reconnect budget. Send returns it for every subsequent message on
+// the link, and the whole network fails fast (a sample-sort mesh cannot
+// make progress with a missing edge).
+type LinkError struct {
+	Src, Dst int
+	// Attempts is how many consecutive no-progress connection cycles ran.
+	Attempts int
+	// Err is the last underlying failure (dial, handshake, write or ack
+	// deadline).
+	Err error
+}
+
+func (e *LinkError) Error() string {
+	return fmt.Sprintf("transport: link %d->%d broken after %d attempts: %v", e.Src, e.Dst, e.Attempts, e.Err)
+}
+
+func (e *LinkError) Unwrap() error { return e.Err }

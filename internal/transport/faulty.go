@@ -1,0 +1,177 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pgxsort/internal/comm"
+)
+
+// Resetter is implemented by transports whose live connections can be
+// forcibly killed for fault injection (the TCP transport). ResetLink
+// closes the (src -> dst) connection as if the network dropped it; a
+// hardened transport reconnects and retransmits.
+type Resetter interface {
+	ResetLink(src, dst int) bool
+}
+
+// FaultPlan schedules deterministic fault injection on a wrapped
+// network. Counters are per (src, dst) pair, so schedules are stable no
+// matter how sends interleave across links.
+//
+// Resets and delays are recoverable: a hardened transport delivers every
+// message anyway, so they are safe to inject under a full engine sort
+// (that is the point of the chaos tests). Drops and duplicates are NOT
+// recovered — they model software faults above the reliable layer — so
+// they are only usable in transport-level tests; the engine refuses
+// them.
+type FaultPlan struct {
+	// ResetEvery kills the underlying connection before every Nth send
+	// on a link (0 disables). Requires the inner network to implement
+	// Resetter; otherwise it is a no-op.
+	ResetEvery int
+	// MaxResets bounds the total injected resets across the network
+	// (0 = unlimited).
+	MaxResets int
+	// DelayEvery sleeps Delay before every Nth send on a link.
+	DelayEvery int
+	Delay      time.Duration
+	// DropEvery silently discards every Nth send on a link (transport
+	// tests only; breaks engine sorts by design).
+	DropEvery int
+	// DupEvery sends every Nth message twice (transport tests only).
+	DupEvery int
+}
+
+// Recoverable reports whether the plan only injects faults a hardened
+// transport recovers from (resets and delays, not drops or duplicates).
+func (p FaultPlan) Recoverable() bool {
+	return p.DropEvery == 0 && p.DupEvery == 0
+}
+
+// active reports whether the plan injects anything at all.
+func (p FaultPlan) active() bool {
+	return p.ResetEvery > 0 || p.DelayEvery > 0 || p.DropEvery > 0 || p.DupEvery > 0
+}
+
+// FaultCounts totals the faults a Faulty network actually injected.
+type FaultCounts struct {
+	Resets int64
+	Delays int64
+	Drops  int64
+	Dups   int64
+}
+
+// Faulty wraps a Network and injects the faults its plan schedules. Use
+// Injected to read how many fired.
+type Faulty[K any] struct {
+	inner    Network[K]
+	plan     FaultPlan
+	resetter Resetter
+	eps      []*faultyEndpoint[K]
+
+	resets atomic.Int64
+	delays atomic.Int64
+	drops  atomic.Int64
+	dups   atomic.Int64
+}
+
+// WithFaults wraps inner with plan. Reset injection probes inner for the
+// Resetter interface (the TCP transport implements it; the in-process
+// transport has no connections to reset, so resets become no-ops there).
+// Wrap the base network directly — an interposed wrapper such as
+// WithJitter hides the Resetter.
+func WithFaults[K any](inner Network[K], plan FaultPlan) *Faulty[K] {
+	f := &Faulty[K]{inner: inner, plan: plan}
+	f.resetter, _ = inner.(Resetter)
+	f.eps = make([]*faultyEndpoint[K], inner.P())
+	for i := range f.eps {
+		if ep := inner.Endpoint(i); ep != nil {
+			f.eps[i] = &faultyEndpoint[K]{net: f, inner: ep, sends: make([]int64, inner.P())}
+		}
+	}
+	return f
+}
+
+func (f *Faulty[K]) P() int       { return f.inner.P() }
+func (f *Faulty[K]) Close() error { return f.inner.Close() }
+func (f *Faulty[K]) Name() string {
+	if f.plan.active() {
+		return f.inner.Name() + "+faults"
+	}
+	return f.inner.Name()
+}
+
+func (f *Faulty[K]) Endpoint(i int) Endpoint[K] {
+	if ep := f.eps[i]; ep != nil {
+		return ep
+	}
+	return nil
+}
+
+// Injected reports how many faults have fired so far.
+func (f *Faulty[K]) Injected() FaultCounts {
+	return FaultCounts{
+		Resets: f.resets.Load(),
+		Delays: f.delays.Load(),
+		Drops:  f.drops.Load(),
+		Dups:   f.dups.Load(),
+	}
+}
+
+type faultyEndpoint[K any] struct {
+	net   *Faulty[K]
+	inner Endpoint[K]
+
+	mu    sync.Mutex
+	sends []int64 // per-destination send counter driving the schedules
+}
+
+func (e *faultyEndpoint[K]) ID() int            { return e.inner.ID() }
+func (e *faultyEndpoint[K]) P() int             { return e.inner.P() }
+func (e *faultyEndpoint[K]) Stats() *comm.Stats { return e.inner.Stats() }
+
+func (e *faultyEndpoint[K]) Recv() (comm.Message[K], bool) { return e.inner.Recv() }
+
+func (e *faultyEndpoint[K]) Send(dst int, m comm.Message[K]) error {
+	f := e.net
+	plan := f.plan
+	if !plan.active() || dst < 0 || dst >= len(e.sends) || dst == e.inner.ID() {
+		return e.inner.Send(dst, m)
+	}
+	e.mu.Lock()
+	e.sends[dst]++
+	nth := e.sends[dst]
+	e.mu.Unlock()
+
+	if plan.DelayEvery > 0 && nth%int64(plan.DelayEvery) == 0 {
+		f.delays.Add(1)
+		time.Sleep(plan.Delay)
+	}
+	if plan.ResetEvery > 0 && f.resetter != nil && nth%int64(plan.ResetEvery) == 0 {
+		if plan.MaxResets > 0 {
+			// Reserve the slot atomically so concurrent senders cannot
+			// overshoot MaxResets with a check-then-act race; a slot
+			// whose reset did not land is returned.
+			if f.resets.Add(1) > int64(plan.MaxResets) {
+				f.resets.Add(-1)
+			} else if !f.resetter.ResetLink(e.inner.ID(), dst) {
+				f.resets.Add(-1)
+			}
+		} else if f.resetter.ResetLink(e.inner.ID(), dst) {
+			f.resets.Add(1)
+		}
+	}
+	if plan.DropEvery > 0 && nth%int64(plan.DropEvery) == 0 {
+		f.drops.Add(1)
+		return nil
+	}
+	if plan.DupEvery > 0 && nth%int64(plan.DupEvery) == 0 {
+		if err := e.inner.Send(dst, m); err != nil {
+			return err
+		}
+		f.dups.Add(1)
+	}
+	return e.inner.Send(dst, m)
+}

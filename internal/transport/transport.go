@@ -4,13 +4,21 @@
 //
 //   - Chan: in-process channels, zero-copy. This is the analogue of
 //     PGX.D's InfiniBand path, where buffers move without serialization.
-//   - TCP: real loopback sockets with framed, codec-serialized messages.
-//     This exercises the full marshalling path and gives the engine real
-//     network backpressure.
+//   - TCP: real sockets with framed, codec-serialized, sequence-numbered
+//     messages. It is hardened for real clusters: configurable listen and
+//     dial addresses (Config), connect retry with exponential backoff and
+//     jitter, read/write/ack deadlines, frame-size limits, bounded
+//     per-link send windows (backpressure with slow-peer stall
+//     accounting), and reconnect-with-retransmit so a sort survives
+//     connection resets mid-exchange.
 //
 // Both preserve per-(src,dst) FIFO order and count identical logical
 // traffic, so experiments can switch transports without changing the
 // measured communication volume (only its cost).
+//
+// Two wrappers inject adversity for tests: WithJitter perturbs send
+// timing, and WithFaults (transport.Faulty) injects connection resets,
+// delays, drops and duplicates on a deterministic schedule.
 package transport
 
 import (
@@ -52,14 +60,21 @@ const (
 	KindTCP  = "tcp"
 )
 
-// New builds a network of p endpoints. codec is required for tcp and used
-// only for byte accounting by chan.
+// New builds a network of p endpoints with the default Config. codec is
+// required for tcp and used only for byte accounting by chan.
 func New[K any](kind string, p int, codec comm.Codec[K]) (Network[K], error) {
+	return NewWithConfig[K](kind, p, codec, Config{})
+}
+
+// NewWithConfig builds a network of p endpoints. cfg shapes the TCP
+// transport (addresses, timeouts, retry, window sizes) and is ignored by
+// the in-process transport, which has none of those concerns.
+func NewWithConfig[K any](kind string, p int, codec comm.Codec[K], cfg Config) (Network[K], error) {
 	switch kind {
 	case KindChan, "":
 		return NewChan[K](p, codec), nil
 	case KindTCP:
-		return NewTCP[K](p, codec)
+		return NewTCPWithConfig[K](p, codec, cfg)
 	default:
 		return nil, fmt.Errorf("transport: unknown kind %q", kind)
 	}

@@ -71,6 +71,16 @@ type (
 	// (Report.Sched): admission wait, per-stage gate waits, and stage
 	// spans relative to the batch epoch, so dataset overlap is readable.
 	SchedTrace = core.SchedTrace
+	// TransportConfig shapes the TCP transport for real clusters
+	// (Options.TCP): per-node listen/dial addresses, connect timeout,
+	// retry backoff, read/write/ack deadlines, max frame size and the
+	// bounded per-link send window. The zero value is the loopback
+	// default.
+	TransportConfig = transport.Config
+	// FaultPlan schedules fault injection on the transport
+	// (Options.Faults): connection resets and delays for chaos testing.
+	// Engine sorts only accept recoverable plans (no drops/dups).
+	FaultPlan = transport.FaultPlan
 
 	// Entry is a sorted record: key plus origin processor and index.
 	Entry[K cmp.Ordered] = comm.Entry[K]

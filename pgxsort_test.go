@@ -36,6 +36,33 @@ func TestSortZeroOptions(t *testing.T) {
 	}
 }
 
+func TestSortOverHardenedTCP(t *testing.T) {
+	// The public wiring of the hardened transport: explicit (loopback)
+	// addresses, tight windows and reset injection, all through Options.
+	keys := dist.Gen{Kind: dist.Uniform, Seed: 9}.Keys(30000)
+	sorted, report, err := Sort(keys, Options{
+		Procs:       3,
+		Transport:   TransportTCP,
+		BufferBytes: 8192,
+		TCP: TransportConfig{
+			Listen:       []string{"127.0.0.1:0", "127.0.0.1:0", "127.0.0.1:0"},
+			WindowFrames: 4,
+		},
+		Faults: &FaultPlan{ResetEvery: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] < sorted[i-1] {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+	if report.Reconnects == 0 {
+		t.Error("expected reconnects under the reset schedule")
+	}
+}
+
 func TestSortDistributed(t *testing.T) {
 	parts := [][]uint64{{5, 1}, {4, 4}, {2}}
 	res, err := SortDistributed(parts, Options{WorkersPerProc: 1})
