@@ -333,6 +333,52 @@ func BenchmarkAblationInvestigator(b *testing.B) {
 	}
 }
 
+// BenchmarkMergeOverlap compares the streaming exchange–merge overlap
+// against the barriered balanced baseline on the Figure 5/6 distribution
+// mix at p=8 (ISSUE 5): each received run merges while the exchange is
+// still in flight, so end-to-end time drops by (roughly) the merge work
+// that fits inside the exchange window — reported as overlap-saved-ms
+// from Report.MergeOverlapSaved.
+func BenchmarkMergeOverlap(b *testing.B) {
+	datasets := make([][][]uint64, len(dist.Kinds))
+	for d, kind := range dist.Kinds {
+		datasets[d] = benchParts(kind, benchProcs, benchN)
+	}
+	totalKeys := int64(len(datasets)) * benchN
+	for _, mode := range []struct {
+		name  string
+		merge core.MergeStrategy
+	}{
+		{"barriered", core.MergeBalanced},
+		{"overlap", core.MergeOverlap},
+	} {
+		b.Run(fmt.Sprintf("%s/p=%d", mode.name, benchProcs), func(b *testing.B) {
+			eng, err := core.NewEngine[uint64](
+				core.Options{Procs: benchProcs, WorkersPerProc: benchWkrs, Merge: mode.merge},
+				comm.U64Codec{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			b.SetBytes(totalKeys * 8)
+			b.ResetTimer()
+			var saved float64
+			for i := 0; i < b.N; i++ {
+				for d := range datasets {
+					res, err := eng.Sort(datasets[d])
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == b.N-1 {
+						saved += float64(res.Report.MergeOverlapSaved.Microseconds()) / 1000
+					}
+				}
+			}
+			b.ReportMetric(saved, "overlap-saved-ms")
+		})
+	}
+}
+
 // BenchmarkAblationMergeStrategy compares step-6 merge strategies.
 func BenchmarkAblationMergeStrategy(b *testing.B) {
 	parts := benchParts(dist.Uniform, benchProcs, benchN)

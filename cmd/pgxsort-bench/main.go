@@ -40,10 +40,15 @@ func main() {
 		pipeline  = flag.Bool("pipeline", false, "also run the SortMany pipeline sweep (shorthand for adding 'pipeline' to -exp)")
 		inflight  = flag.Int("inflight", 0, "SortMany scheduler admission cap for the pipeline sweep (0 = default)")
 		localSort = flag.String("localsort", "auto", "step-1 path for all experiments: auto, comparison or radix")
+		overlap   = flag.String("overlap", "auto", "exchange–merge overlap for experiments that do not sweep it: auto, on, or off")
 	)
 	flag.Parse()
 
 	lsMode, err := core.ParseLocalSortMode(*localSort)
+	if err != nil {
+		fatal(err)
+	}
+	mergeMode, err := core.ParseOverlapFlag(*overlap)
 	if err != nil {
 		fatal(err)
 	}
@@ -69,6 +74,7 @@ func main() {
 		Reps:         *reps,
 		Inflight:     *inflight,
 		LocalSort:    lsMode,
+		Merge:        mergeMode,
 		ListenAddrs:  tp.SplitAddrs(*listen),
 		PeerAddrs:    tp.SplitAddrs(*peers),
 	}

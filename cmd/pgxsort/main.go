@@ -51,7 +51,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: pgxsort <generate|sort|verify|describe> [flags]
   generate -kind <uniform|normal|right-skewed|exponential|...> -n N [-seed S] [-domain D] -out FILE
-  sort     -in FILE -out FILE [-procs P] [-workers W] [-transport chan|tcp] [-listen A1,..,AP] [-peers A1,..,AP] [-sample-factor F] [-no-investigator] [-localsort auto|comparison|radix]
+  sort     -in FILE -out FILE [-procs P] [-workers W] [-transport chan|tcp] [-listen A1,..,AP] [-peers A1,..,AP] [-sample-factor F] [-no-investigator] [-localsort auto|comparison|radix] [-overlap auto|on|off]
   verify   -in FILE
   describe -in FILE`)
 	os.Exit(2)
@@ -96,11 +96,16 @@ func cmdSort(args []string) error {
 	factor := fs.Float64("sample-factor", 1.0, "sample size factor (paper's X multiplier)")
 	noInv := fs.Bool("no-investigator", false, "disable the duplicate-splitter investigator")
 	localSort := fs.String("localsort", "auto", "local sort path: auto, comparison or radix")
+	overlap := fs.String("overlap", "auto", "exchange–merge overlap: auto, on, or off (barriered ablation)")
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		return fmt.Errorf("sort: -in and -out required")
 	}
 	lsMode, err := pgxsort.ParseLocalSortMode(*localSort)
+	if err != nil {
+		return fmt.Errorf("sort: %w", err)
+	}
+	mergeMode, err := pgxsort.ParseOverlapFlag(*overlap)
 	if err != nil {
 		return fmt.Errorf("sort: %w", err)
 	}
@@ -120,6 +125,7 @@ func cmdSort(args []string) error {
 		SampleFactor:        *factor,
 		DisableInvestigator: *noInv,
 		LocalSort:           lsMode,
+		Merge:               mergeMode,
 	})
 	if err != nil {
 		return err

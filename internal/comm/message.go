@@ -57,6 +57,18 @@ type Entry[K any] struct {
 	Index uint32 // index within the originating processor's input
 }
 
+// Message flags: pipeline signals that ride the existing framing (one
+// header byte) rather than needing messages of their own.
+const (
+	// FlagRunComplete marks the final KData chunk of one source's run in
+	// the all-to-all exchange. The receiver can already derive completion
+	// from the range metadata counts; the flag is an independent
+	// per-source signal layered on the framing, so a count/framing
+	// mismatch surfaces as a protocol error instead of silent corruption,
+	// and streaming mergers get an explicit end-of-run marker.
+	FlagRunComplete uint8 = 1 << 0
+)
+
 // Message is the unit of communication between processors. A message
 // carries either sorted entries (KSamples, KData), raw keys (KSplitters),
 // or integer metadata (KRangeMeta, KControl).
@@ -66,6 +78,7 @@ type Entry[K any] struct {
 type Message[K any] struct {
 	Src, Dst int
 	Kind     Kind
+	Flags    uint8 // Flag* bits; zero for most messages
 	SortID   int32
 	Entries  []Entry[K] // KData payloads
 	Keys     []K        // KSamples / KSplitters payloads

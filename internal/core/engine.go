@@ -365,9 +365,13 @@ func (e *Engine[K]) sortOne(ctx context.Context, parts [][]K, ctrl *stageCtrl) (
 		}
 		rep.Reconnects += nr.Reconnects
 		rep.FramesResent += nr.FramesResent
+		if nr.MergeOverlapSaved > rep.MergeOverlapSaved {
+			rep.MergeOverlapSaved = nr.MergeOverlapSaved
+		}
 	}
 	rep.CommTime = rep.Steps[StepSampling] + rep.Steps[StepSplitters] + rep.Steps[StepExchange]
 	rep.LocalSortPath = cmps.path
+	rep.MergePath = e.opts.Merge.String()
 	rep.Sched = ctrl.snapshot()
 
 	parts2 := make([][]comm.Entry[K], p)

@@ -69,6 +69,13 @@ type sortCmps[K cmp.Ordered] struct {
 	entryLess func(a, b comm.Entry[K]) bool
 	keyLess   func(a, b K) bool
 	keyAbove  func(e comm.Entry[K], sp K) bool // e.Key strictly above the splitter
+	keyBelow  func(e comm.Entry[K], sp K) bool // e.Key strictly below the splitter
+	// tieLess refines entryLess with the origin processor on equal keys.
+	// The streaming overlap merger orders under it so its output is the
+	// unique linear extension of (key, origin, within-run order) — a total
+	// order independent of run arrival timing, matching the barriered
+	// MergeKWay output byte for byte.
+	tieLess func(a, b comm.Entry[K]) bool
 }
 
 // comparators resolves Options.LocalSort against the engine's key
@@ -82,11 +89,32 @@ func (e *Engine[K]) comparators() sortCmps[K] {
 		c.entryLess = func(a, b comm.Entry[K]) bool { return norm(a.Key) < norm(b.Key) }
 		c.keyLess = func(a, b K) bool { return norm(a) < norm(b) }
 		c.keyAbove = func(en comm.Entry[K], sp K) bool { return norm(en.Key) > norm(sp) }
+		c.keyBelow = func(en comm.Entry[K], sp K) bool { return norm(en.Key) < norm(sp) }
+		// Specialized rather than layered over entryLess: the streaming
+		// merger runs this on the hot path, and one norm per operand beats
+		// the two entryLess probes of a generic tie-break wrapper.
+		c.tieLess = func(a, b comm.Entry[K]) bool {
+			na, nb := norm(a.Key), norm(b.Key)
+			if na != nb {
+				return na < nb
+			}
+			return a.Proc < b.Proc
+		}
 	} else {
 		c.path = "comparison"
 		c.entryLess = entryLess[K]
 		c.keyLess = func(a, b K) bool { return a < b }
 		c.keyAbove = func(en comm.Entry[K], sp K) bool { return en.Key > sp }
+		c.keyBelow = func(en comm.Entry[K], sp K) bool { return en.Key < sp }
+		c.tieLess = func(a, b comm.Entry[K]) bool {
+			if a.Key < b.Key {
+				return true
+			}
+			if b.Key < a.Key {
+				return false
+			}
+			return a.Proc < b.Proc
+		}
 	}
 	return c
 }
@@ -216,7 +244,12 @@ func (s *sortRun[K]) leaveAllStages() {
 // run executes the staged pipeline and returns this node's sorted part.
 // The six paper steps map onto four scheduler stages: local sort (CPU),
 // sample/splitter agreement (comm), partition+exchange (comm-heavy),
-// final merge (CPU).
+// final merge (CPU). Under MergeOverlap the last two stages overlap on
+// this node — received runs merge incrementally while the exchange is
+// still in flight — but the stage boundaries stay: the scheduler's
+// exchange gate is released the moment this sort's communication is done,
+// so pipelined SortMany still serializes only the comm-heavy part while
+// the merge tail proceeds ungated.
 func (s *sortRun[K]) run() ([]comm.Entry[K], error) {
 	s.markTransportBaseline()
 	defer s.leaveAllStages()
@@ -240,24 +273,36 @@ func (s *sortRun[K]) run() ([]comm.Entry[K], error) {
 	if err := s.enterStage(StageExchange); err != nil {
 		return nil, err
 	}
-	asm, err := s.partitionExchange(entries, splitters)
+	asm, ov, err := s.partitionExchange(entries, splitters)
 	if err != nil {
 		return nil, err
 	}
 	s.leaveStage(StageExchange)
 
 	if err := s.enterStage(StageMerge); err != nil {
-		asm.Release()
-		s.node.entryPool.Put(asm.Entries())
+		s.discardMerge(asm, ov)
 		return nil, err
 	}
-	merged := s.finalMerge(asm)
+	merged := s.finalMerge(asm, ov)
 	s.leaveStage(StageMerge)
 
 	s.report.PartSize = len(merged)
 	s.report.ResidentBytes += int64(len(merged)) * int64(entryBytes[K]())
 	s.report.TempPeakBytes = s.node.tracker.Peak()
 	return merged, nil
+}
+
+// discardMerge abandons a completed exchange whose merge will never run
+// (an error at the merge-stage boundary), on every strategy: under
+// MergeOverlap the streaming merger joins and returns its intermediate
+// slabs; on all paths — k-way included — the assembly's entry buffer goes
+// back to the pool so an error exit never strands a slab.
+func (s *sortRun[K]) discardMerge(asm *datamgr.Assembly[K], ov *overlapMerger[K]) {
+	if ov != nil {
+		ov.abort()
+	}
+	asm.Release()
+	s.node.entryPool.Put(asm.Entries())
 }
 
 // localSort is step 1: the parallel local sort. The comparison path is
@@ -366,10 +411,13 @@ func (s *sortRun[K]) splitterAgreement(entries []comm.Entry[K]) ([]K, error) {
 
 // partitionExchange is steps 4-5: binary-search range partitioning, the
 // range-metadata broadcast, and the simultaneous all-to-all exchange at
-// precomputed offsets. On error the assembly's temporary memory is
-// released, so a cancelled sort cannot inflate the node's tracker for
-// later sorts on the same engine.
-func (s *sortRun[K]) partitionExchange(entries []comm.Entry[K], splitters []K) (_ *datamgr.Assembly[K], err error) {
+// precomputed offsets. Under MergeOverlap it also starts the streaming
+// merger and feeds it each source's run as the assembly completes it, so
+// step-6 work overlaps the exchange. On error the assembly's temporary
+// memory is released and the merger (if any) is aborted, so a cancelled
+// sort cannot inflate the node's tracker or leak slabs for later sorts on
+// the same engine.
+func (s *sortRun[K]) partitionExchange(entries []comm.Entry[K], splitters []K) (_ *datamgr.Assembly[K], _ *overlapMerger[K], err error) {
 	n := s.node
 	p := s.opts.Procs
 	self := n.id
@@ -378,7 +426,7 @@ func (s *sortRun[K]) partitionExchange(entries []comm.Entry[K], splitters []K) (
 	// ---- Step 4: binary-search range partitioning + metadata bcast ----
 	t0 := time.Now()
 	ranges := sample.Partition(entries, splitters,
-		s.cmps.keyLess, s.cmps.keyAbove,
+		s.cmps.keyLess, s.cmps.keyAbove, s.cmps.keyBelow,
 		!s.opts.DisableInvestigator)
 	counts := ranges.Counts()
 	meta := make([]int64, p)
@@ -391,7 +439,7 @@ func (s *sortRun[K]) partitionExchange(entries []comm.Entry[K], splitters []K) (
 			continue
 		}
 		if err := s.send(dst, comm.Message[K]{Kind: comm.KRangeMeta, Ints: meta}); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	// Collect everyone's counts; perSrc[i] is what source i sends me.
@@ -400,10 +448,10 @@ func (s *sortRun[K]) partitionExchange(entries []comm.Entry[K], splitters []K) (
 	for i := 0; i < p-1; i++ {
 		m, err := s.recv(comm.KRangeMeta)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if len(m.Ints) != p {
-			return nil, fmt.Errorf("range metadata from %d has %d counts, want %d", m.Src, len(m.Ints), p)
+			return nil, nil, fmt.Errorf("range metadata from %d has %d counts, want %d", m.Src, len(m.Ints), p)
 		}
 		perSrc[m.Src] = int(m.Ints[self])
 	}
@@ -416,8 +464,18 @@ func (s *sortRun[K]) partitionExchange(entries []comm.Entry[K], splitters []K) (
 		total += c
 	}
 	asm := datamgr.NewAssemblyBuf[K](n.dm, perSrc, eb, n.entryPool.Get(total))
+	// The streaming merger must exist before the first assembly write so
+	// no run-completion — the self range included — can slip past it.
+	var ov *overlapMerger[K]
+	if s.opts.Merge == MergeOverlap {
+		ov = newOverlapMerger(s, asm)
+		asm.OnRunComplete(ov.offer)
+	}
 	defer func() {
 		if err != nil {
+			if ov != nil {
+				ov.abort()
+			}
 			asm.Release()
 			n.entryPool.Put(asm.Entries())
 		}
@@ -425,7 +483,7 @@ func (s *sortRun[K]) partitionExchange(entries []comm.Entry[K], splitters []K) (
 	// The local range never touches the network.
 	lo, hi := ranges.Range(self)
 	if err := asm.Write(self, entries[lo:hi]); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	expectRemote := 0
 	for src, c := range perSrc {
@@ -447,8 +505,15 @@ func (s *sortRun[K]) partitionExchange(entries []comm.Entry[K], splitters []K) (
 			dlo, dhi := ranges.Range(dst)
 			tasks = append(tasks, func() {
 				errs[dst] = datamgr.Chunks(n.dm, entries[dlo:dhi], s.codec.KeySize(),
-					func(chunk []comm.Entry[K]) error {
-						return s.send(dst, comm.Message[K]{Kind: comm.KData, Entries: chunk})
+					func(chunk []comm.Entry[K], last bool) error {
+						m := comm.Message[K]{Kind: comm.KData, Entries: chunk}
+						if last {
+							// Per-source run-complete signal riding the
+							// existing framing; the receiver cross-checks
+							// it against the metadata-derived counts.
+							m.Flags |= comm.FlagRunComplete
+						}
+						return s.send(dst, m)
 					})
 			})
 		}
@@ -470,6 +535,13 @@ func (s *sortRun[K]) partitionExchange(entries []comm.Entry[K], splitters []K) (
 			if err := asm.Write(m.Src, m.Entries); err != nil {
 				return err
 			}
+			if m.Flags&comm.FlagRunComplete != 0 && !asm.RunComplete(m.Src) {
+				// The sender says its run ends here but the metadata
+				// counts expect more: a framing/metadata mismatch that
+				// must fail loudly, not feed a short run to the merger.
+				return fmt.Errorf("source %d signaled run-complete before its %d expected entries arrived",
+					m.Src, perSrc[m.Src])
+			}
 			got += len(m.Entries)
 			if m.Release != nil {
 				// The entries were decoded into a transport-owned slab
@@ -484,23 +556,23 @@ func (s *sortRun[K]) partitionExchange(entries []comm.Entry[K], splitters []K) (
 		// Bulk-synchronous ablation: finish all sends, exchange barrier
 		// tokens, then drain the receive queue.
 		if err := sendAll(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for dst := 0; dst < p; dst++ {
 			if dst == self {
 				continue
 			}
 			if err := s.send(dst, comm.Message[K]{Kind: comm.KControl, Ints: []int64{1}}); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 		for i := 0; i < p-1; i++ {
 			if _, err := s.recv(comm.KControl); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 		if err := recvAll(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	} else {
 		// Paper behaviour: send while receiving, no barrier in between.
@@ -508,22 +580,27 @@ func (s *sortRun[K]) partitionExchange(entries []comm.Entry[K], splitters []K) (
 		go func() { sendErr <- sendAll() }()
 		if err := recvAll(); err != nil {
 			<-sendErr
-			return nil, err
+			return nil, nil, err
 		}
 		if err := <-sendErr; err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
+	if ov != nil {
+		ov.markExchangeDone()
+	}
 	s.report.Steps[StepExchange] = time.Since(t0)
-	return asm, nil
+	return asm, ov, nil
 }
 
 // finalMerge is step 6: merge the received sorted runs. The merge
 // scratch comes from the node's slab pool; whichever of the assembly
 // buffer and the scratch does not end up backing the result is recycled
 // immediately (the result itself becomes resident storage and leaves the
-// pool for good).
-func (s *sortRun[K]) finalMerge(asm *datamgr.Assembly[K]) []comm.Entry[K] {
+// pool for good). Under MergeOverlap most of the work already happened
+// inside the exchange; only the streaming merger's final pass runs here,
+// and StepFinalMerge times just that visible tail.
+func (s *sortRun[K]) finalMerge(asm *datamgr.Assembly[K], ov *overlapMerger[K]) []comm.Entry[K] {
 	n := s.node
 	p := s.opts.Procs
 	eb := entryBytes[K]()
@@ -531,8 +608,15 @@ func (s *sortRun[K]) finalMerge(asm *datamgr.Assembly[K]) []comm.Entry[K] {
 	t0 := time.Now()
 	var merged []comm.Entry[K]
 	buf := asm.Entries()
-	switch s.opts.Merge {
-	case MergeKWay:
+	switch {
+	case ov != nil:
+		// Streaming overlap: drain the merger and run its final
+		// splitter-partitioned parallel pass. The result never aliases
+		// the assembly buffer, so the slab is unconditionally free.
+		merged = ov.finish()
+		asm.Release()
+		n.entryPool.Put(buf)
+	case s.opts.Merge == MergeKWay:
 		bounds := asm.Bounds()
 		runs := make([][]comm.Entry[K], 0, p)
 		for i := 0; i+1 < len(bounds); i++ {
@@ -546,12 +630,22 @@ func (s *sortRun[K]) finalMerge(asm *datamgr.Assembly[K]) []comm.Entry[K] {
 	default:
 		scratch := n.entryPool.Get(len(buf))
 		n.tracker.Alloc(int64(len(buf)) * int64(eb))
-		merged = lsort.MergeAdjacentRuns(buf, scratch, asm.Bounds(), s.cmps.entryLess, true)
+		var fromScratch bool
+		merged, fromScratch = lsort.MergeAdjacentRunsOwned(buf, scratch, asm.Bounds(), s.cmps.entryLess, true)
 		n.tracker.Free(int64(len(buf)) * int64(eb))
 		asm.Release()
-		if len(merged) > 0 && &merged[0] == &scratch[0] {
+		// Explicit ownership from the merge, not a base-pointer compare
+		// (which has no element to address on empty results): exactly one
+		// of buf/scratch backs the result and the other is recycled — and
+		// an empty result frees both, since nothing aliases either.
+		switch {
+		case len(merged) == 0:
 			n.entryPool.Put(buf)
-		} else {
+			n.entryPool.Put(scratch)
+			merged = nil
+		case fromScratch:
+			n.entryPool.Put(buf)
+		default:
 			n.entryPool.Put(scratch)
 		}
 	}

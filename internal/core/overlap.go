@@ -1,0 +1,183 @@
+package core
+
+import (
+	"cmp"
+	"runtime"
+	"time"
+
+	"pgxsort/internal/comm"
+	"pgxsort/internal/datamgr"
+	"pgxsort/internal/lsort"
+)
+
+// overlapMerger is the receive side of the streaming exchange–merge
+// overlap (Options.Merge == MergeOverlap). Instead of waiting for the
+// whole assembly barrier and then merging (steps 5 then 6, strictly
+// ordered), the node hands each peer's run to this merger the moment its
+// assembly region completes; a dedicated goroutine folds the runs into an
+// incremental ladder (lsort.RunLadder), so merge CPU burns during step-5
+// network idle time. After the exchange only the ladder's final
+// splitter-partitioned parallel pass remains — the merge latency a
+// barriered schedule would serialize after the exchange is hidden inside
+// it, and surfaces as Report.MergeOverlapSaved.
+//
+// Output determinism: the ladder merges under tieLess, which refines the
+// sort order with the origin processor on equal keys. Entries of one
+// source are never split across ladder runs and stable merges preserve
+// their relative order, so the merged sequence is the unique linear
+// extension of (key, origin, within-run order) — independent of run
+// arrival order, transport, and merge-tree shape, and byte-identical to
+// the barriered MergeKWay output. The differential fuzz tests hold the
+// engine to exactly that.
+//
+// Concurrency: offer is only called from the node goroutine's assembly
+// writes (the self write and the receive loop), so sends on the runs
+// channel never race its close; the channel's capacity of p guarantees
+// offer never blocks. The ladder is touched only by the merger goroutine
+// until stop() returns, after which the node goroutine owns it.
+type overlapMerger[K cmp.Ordered] struct {
+	s   *sortRun[K]
+	asm *datamgr.Assembly[K]
+
+	ladder *lsort.RunLadder[comm.Entry[K]]
+	get    func(n int) []comm.Entry[K]
+	put    func(buf []comm.Entry[K])
+
+	runs   chan int
+	done   chan struct{}
+	closed bool
+
+	start   time.Time
+	exchEnd time.Time // set by markExchangeDone, read by finish (node goroutine)
+	spans   []mergeOp
+}
+
+// mergeOp is one merge operation's wall-clock span, recorded by the
+// ladder's note hook.
+type mergeOp struct {
+	start, end time.Time
+	entries    int
+}
+
+// newOverlapMerger starts the merger goroutine for one node's sort. The
+// intermediate buffers come from the node's slab pool and are accounted as
+// temporary memory for the Figure 11 bookkeeping (the accounting balances:
+// every get is freed by a put, and the final result's allocation converts
+// to resident storage in finish).
+func newOverlapMerger[K cmp.Ordered](s *sortRun[K], asm *datamgr.Assembly[K]) *overlapMerger[K] {
+	n := s.node
+	eb := int64(entryBytes[K]())
+	m := &overlapMerger[K]{
+		s:     s,
+		asm:   asm,
+		runs:  make(chan int, s.opts.Procs),
+		done:  make(chan struct{}),
+		start: time.Now(),
+	}
+	m.get = func(sz int) []comm.Entry[K] {
+		buf := n.entryPool.Get(sz)
+		n.tracker.Alloc(int64(sz) * eb)
+		return buf
+	}
+	m.put = func(buf []comm.Entry[K]) {
+		n.tracker.Free(int64(len(buf)) * eb)
+		n.entryPool.Put(buf)
+	}
+	// Intra-merge parallelism is bounded by real CPUs: splitting a merge
+	// across goroutines on a single-CPU runtime only buys co-rank and
+	// scheduling overhead.
+	ways := s.opts.WorkersPerProc
+	if g := runtime.GOMAXPROCS(0); ways > g {
+		ways = g
+	}
+	m.ladder = lsort.NewRunLadder(s.cmps.tieLess, m.get, m.put, ways, m.note)
+	go m.loop()
+	return m
+}
+
+// note records one ladder merge span. It runs on whichever goroutine owns
+// the ladder at the time (merger goroutine during the exchange, node
+// goroutine during the final pass) — never both at once.
+func (m *overlapMerger[K]) note(entries int, start, end time.Time) {
+	m.spans = append(m.spans, mergeOp{start: start, end: end, entries: entries})
+}
+
+// loop consumes completed runs until the channel closes. Runs stay
+// borrowed: they alias the assembly buffer, which the node recycles as a
+// whole after the final merge.
+func (m *overlapMerger[K]) loop() {
+	defer close(m.done)
+	for src := range m.runs {
+		m.ladder.Push(m.asm.Run(src), false)
+	}
+}
+
+// offer is the datamgr.Assembly run-completion callback.
+func (m *overlapMerger[K]) offer(src int) { m.runs <- src }
+
+// markExchangeDone timestamps the end of the exchange window; merge time
+// before this instant counts as hidden latency.
+func (m *overlapMerger[K]) markExchangeDone() { m.exchEnd = time.Now() }
+
+// stop closes the run feed and joins the merger goroutine. Idempotent.
+func (m *overlapMerger[K]) stop() {
+	if !m.closed {
+		m.closed = true
+		close(m.runs)
+	}
+	<-m.done
+}
+
+// finish joins the merger, runs the final splitter-partitioned parallel
+// pass and returns the fully merged result. The result never aliases the
+// assembly buffer (a lone borrowed run is copied out), so the caller can
+// recycle the assembly slab unconditionally. It also folds the overlap
+// accounting into the node report and, under the SortMany scheduler, the
+// trace's MergeSpans.
+func (m *overlapMerger[K]) finish() []comm.Entry[K] {
+	m.stop()
+	merged, owned := m.ladder.Finish()
+	if !owned && len(merged) > 0 {
+		out := m.get(len(merged))
+		copy(out, merged)
+		merged = out
+	}
+	if len(merged) > 0 {
+		// The result leaves the pool for good: temporary no more, it
+		// becomes the node's resident result storage.
+		m.s.node.tracker.Free(int64(len(merged)) * int64(entryBytes[K]()))
+	}
+
+	var saved time.Duration
+	for _, op := range m.spans {
+		if m.exchEnd.IsZero() || !op.start.Before(m.exchEnd) {
+			continue
+		}
+		end := op.end
+		if end.After(m.exchEnd) {
+			end = m.exchEnd
+		}
+		saved += end.Sub(op.start)
+	}
+	m.s.report.MergeOverlapSaved = saved
+	if ctrl := m.s.ctrl; ctrl != nil {
+		for _, op := range m.spans {
+			ctrl.noteMergeSpan(MergeSpan{
+				Node:       m.s.node.id,
+				Start:      op.start.Sub(ctrl.epoch),
+				End:        op.end.Sub(ctrl.epoch),
+				Entries:    op.entries,
+				Overlapped: !m.exchEnd.IsZero() && op.start.Before(m.exchEnd),
+			})
+		}
+	}
+	return merged
+}
+
+// abort joins the merger goroutine and returns every pooled intermediate
+// buffer, for error paths where the merge result will never be consumed.
+// The assembly buffer stays with the caller.
+func (m *overlapMerger[K]) abort() {
+	m.stop()
+	m.ladder.Abort()
+}

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"bytes"
+	"cmp"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+
+	"pgxsort/internal/comm"
+	"pgxsort/internal/dist"
+	"pgxsort/internal/transport"
+)
+
+// sortWith builds an engine with opts, sorts parts and returns the result.
+func sortWith[K cmp.Ordered](t *testing.T, codec comm.Codec[K], opts Options, parts [][]K) *Result[K] {
+	t.Helper()
+	e, err := NewEngine[K](opts, codec)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	defer e.Close()
+	res, err := e.Sort(parts)
+	if err != nil {
+		t.Fatalf("Sort(%s): %v", opts.Merge, err)
+	}
+	if err := res.Verify(parts); err != nil {
+		t.Fatalf("Verify(%s): %v", opts.Merge, err)
+	}
+	return res
+}
+
+// requireEntriesIdentical asserts two results are byte-identical entry for
+// entry: same partition sizes, same origins, and byte-equal keys under the
+// codec (plain == would treat NaN keys as unequal to themselves).
+func requireEntriesIdentical[K cmp.Ordered](t *testing.T, codec comm.Codec[K], got, want *Result[K], label string) {
+	t.Helper()
+	if len(got.Parts) != len(want.Parts) {
+		t.Fatalf("%s: %d parts vs %d", label, len(got.Parts), len(want.Parts))
+	}
+	ka := make([]byte, codec.KeySize())
+	kb := make([]byte, codec.KeySize())
+	for pi := range got.Parts {
+		if len(got.Parts[pi]) != len(want.Parts[pi]) {
+			t.Fatalf("%s: part %d has %d entries, want %d",
+				label, pi, len(got.Parts[pi]), len(want.Parts[pi]))
+		}
+		for i := range got.Parts[pi] {
+			g, w := got.Parts[pi][i], want.Parts[pi][i]
+			codec.PutKey(ka, g.Key)
+			codec.PutKey(kb, w.Key)
+			if g.Proc != w.Proc || g.Index != w.Index || !bytes.Equal(ka, kb) {
+				t.Fatalf("%s: part %d entry %d: %+v != %+v", label, pi, i, g, w)
+			}
+		}
+	}
+}
+
+// diffOverlapVsBarriered is the differential core: the streaming overlap
+// must produce output byte-identical to the barriered loser-tree merge
+// (whose tie order — by origin processor, within-source run order
+// preserved — is exactly the unique total order the overlap's tie-refined
+// comparator pins down), and key-identical to the barriered balanced
+// handler.
+func diffOverlapVsBarriered[K cmp.Ordered](t *testing.T, codec comm.Codec[K], parts [][]K, opts Options, label string) {
+	t.Helper()
+	opts.Procs = len(parts)
+	kway := opts
+	kway.Merge = MergeKWay
+	overlap := opts
+	overlap.Merge = MergeOverlap
+	balanced := opts
+	balanced.Merge = MergeBalanced
+
+	want := sortWith(t, codec, kway, parts)
+	got := sortWith(t, codec, overlap, parts)
+	requireEntriesIdentical(t, codec, got, want, label)
+	if got.Report.MergePath != "overlap" {
+		t.Fatalf("%s: MergePath = %q, want overlap", label, got.Report.MergePath)
+	}
+
+	bal := sortWith(t, codec, balanced, parts)
+	gk, bk := got.Keys(), bal.Keys()
+	ka := make([]byte, codec.KeySize())
+	kb := make([]byte, codec.KeySize())
+	for i := range gk {
+		codec.PutKey(ka, gk[i])
+		codec.PutKey(kb, bk[i])
+		if !bytes.Equal(ka, kb) {
+			t.Fatalf("%s: overlap and balanced keys disagree at %d", label, i)
+		}
+	}
+}
+
+// TestOverlapDifferentialAllKinds: byte-identical output on every
+// generator kind, including the adversarial sorted/constant/few-distinct
+// shapes whose duplicate ties stress the origin tie-break.
+func TestOverlapDifferentialAllKinds(t *testing.T) {
+	for _, kind := range dist.AllKinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			parts := mkParts(kind, 5, 4000, 17)
+			diffOverlapVsBarriered(t, comm.U64Codec{}, parts,
+				Options{WorkersPerProc: 2}, kind.String())
+		})
+	}
+}
+
+// TestOverlapDifferentialKeyTypes: the overlap is key-type agnostic; the
+// int64 sign flip, the float64 IEEE-754 total order (NaNs, infinities and
+// signed zeros included) and the narrow uint32 codec all stay
+// byte-identical to the barriered merge — on both local-sort paths.
+func TestOverlapDifferentialKeyTypes(t *testing.T) {
+	const procs, per = 4, 3000
+	base := mkParts(dist.Normal, procs, per, 23)
+	for _, mode := range []LocalSortMode{LocalSortAuto, LocalSortComparison} {
+		opts := Options{WorkersPerProc: 2, LocalSort: mode}
+		t.Run("int64/"+mode.String(), func(t *testing.T) {
+			parts := make([][]int64, procs)
+			for i, p := range base {
+				parts[i] = make([]int64, len(p))
+				for j, k := range p {
+					parts[i][j] = int64(k) - int64(len(p))*500 // mix signs
+				}
+			}
+			diffOverlapVsBarriered(t, comm.I64Codec{}, parts, opts, "int64")
+		})
+		t.Run("float64/"+mode.String(), func(t *testing.T) {
+			// NaNs are only orderable on the normalized (radix/auto) path,
+			// whose IEEE-754 total order pins their positions; under the
+			// forced comparison path raw < is not a strict weak ordering
+			// with NaNs present and no merge schedule has defined output,
+			// so that case sticks to non-NaN specials.
+			specials := []float64{math.Inf(1), math.Inf(-1), 0.0,
+				math.Copysign(0, -1), math.MaxFloat64, -math.SmallestNonzeroFloat64}
+			if mode == LocalSortAuto {
+				specials = append(specials, math.NaN(), -math.NaN())
+			}
+			parts := make([][]float64, procs)
+			for i, p := range base {
+				parts[i] = make([]float64, len(p))
+				for j, k := range p {
+					if j < len(specials) {
+						parts[i][j] = specials[(i+j)%len(specials)]
+						continue
+					}
+					// Raw bit reinterpretation: wild exponents, negatives,
+					// and (on the auto path) NaN payload patterns.
+					v := math.Float64frombits(k * 0x9e3779b97f4a7c15)
+					if mode != LocalSortAuto && math.IsNaN(v) {
+						v = float64(k) // keep the comparison path NaN-free
+					}
+					parts[i][j] = v
+				}
+			}
+			diffOverlapVsBarriered(t, comm.F64Codec{}, parts, opts, "float64")
+		})
+		t.Run("uint32/"+mode.String(), func(t *testing.T) {
+			parts := make([][]uint32, procs)
+			for i, p := range base {
+				parts[i] = make([]uint32, len(p))
+				for j, k := range p {
+					parts[i][j] = uint32(k)
+				}
+			}
+			diffOverlapVsBarriered(t, comm.U32Codec{}, parts, opts, "uint32")
+		})
+	}
+}
+
+// TestOverlapDifferentialDegenerate: empty datasets, single processors,
+// fewer keys than processors — the copy-out path for a lone borrowed run
+// and the all-empty ladder.
+func TestOverlapDifferentialDegenerate(t *testing.T) {
+	cases := map[string][][]uint64{
+		"all-empty":    {{}, {}, {}},
+		"single-proc":  {{5, 3, 9, 1}},
+		"sparse":       {{7}, {}, {2, 2, 2}, {}},
+		"one-key-each": {{4}, {1}, {3}, {2}},
+	}
+	for name, parts := range cases {
+		parts := parts
+		t.Run(name, func(t *testing.T) {
+			diffOverlapVsBarriered(t, comm.U64Codec{}, parts,
+				Options{WorkersPerProc: 1}, name)
+		})
+	}
+}
+
+// TestOverlapSurvivesResetsIdentical is the chaos half of the
+// differential suite: the streaming merge runs over the TCP transport
+// with connections reset on a schedule throughout the exchange, and must
+// still produce output byte-identical to a fault-free barriered reference
+// — a reconnect mid-run must not corrupt an in-progress incremental
+// merge.
+func TestOverlapSurvivesResetsIdentical(t *testing.T) {
+	const procs = 4
+	for _, kind := range []dist.Kind{dist.Uniform, dist.RightSkewed} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			parts := mkParts(kind, procs, 6000, 4321)
+			// BufferBytes must match across engines: it drives the sample
+			// count, so splitters (and thus partitions) agree.
+			ref := sortWith(t, comm.U64Codec{}, Options{
+				Procs: procs, WorkersPerProc: 2, BufferBytes: 4096, Merge: MergeKWay,
+			}, parts)
+			e, err := NewEngine[uint64](Options{
+				Procs:          procs,
+				WorkersPerProc: 2,
+				BufferBytes:    4096,
+				Merge:          MergeOverlap,
+				Transport:      transport.KindTCP,
+				TCP:            chaosTCP(),
+				Faults:         &transport.FaultPlan{ResetEvery: 3},
+			}, comm.U64Codec{})
+			if err != nil {
+				t.Fatalf("NewEngine: %v", err)
+			}
+			defer e.Close()
+			got, err := e.Sort(parts)
+			if err != nil {
+				t.Fatalf("chaos overlap sort: %v", err)
+			}
+			if err := got.Verify(parts); err != nil {
+				t.Fatal(err)
+			}
+			requireEntriesIdentical(t, comm.U64Codec{}, got, ref, kind.String())
+			if got.Report.Reconnects == 0 {
+				t.Error("chaos overlap sort reported no reconnects; the faults did not bite")
+			}
+		})
+	}
+}
+
+// FuzzOverlapDifferential fuzzes generator kind, seed, shape and
+// processor count: overlap output must match the barriered loser-tree
+// merge entry for entry.
+func FuzzOverlapDifferential(f *testing.F) {
+	f.Add(uint8(0), uint64(1), uint8(4), uint16(800))
+	f.Add(uint8(2), uint64(99), uint8(7), uint16(333))
+	f.Add(uint8(7), uint64(5), uint8(1), uint16(50))
+	f.Add(uint8(5), uint64(12345), uint8(3), uint16(0))
+	f.Fuzz(func(t *testing.T, kindB uint8, seed uint64, procsB uint8, perB uint16) {
+		kind := dist.AllKinds[int(kindB)%len(dist.AllKinds)]
+		procs := 1 + int(procsB%8)
+		per := int(perB % 2048)
+		parts := mkParts(kind, procs, per, seed)
+		diffOverlapVsBarriered(t, comm.U64Codec{}, parts,
+			Options{WorkersPerProc: 2}, kind.String())
+	})
+}
+
+// TestOverlapReportAndTrace: the overlap surfaces its accounting — the
+// resolved merge path, a non-negative hidden-latency figure that is
+// positive on a workload with real merge work, and per-merge spans in the
+// scheduler trace.
+func TestOverlapReportAndTrace(t *testing.T) {
+	const procs = 8
+	parts := mkParts(dist.Uniform, procs, 30000, 55)
+	// Timing-dependent: merge work must land inside the exchange window.
+	// Retry a few times before declaring the overlap dead.
+	saved := false
+	for attempt := 0; attempt < 3 && !saved; attempt++ {
+		e := newTestEngine(t, Options{Procs: procs, WorkersPerProc: 2, Merge: MergeOverlap})
+		res, err := e.Sort(parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Report.MergePath != "overlap" {
+			t.Fatalf("MergePath = %q", res.Report.MergePath)
+		}
+		if res.Report.MergeOverlapSaved < 0 {
+			t.Fatalf("MergeOverlapSaved negative: %v", res.Report.MergeOverlapSaved)
+		}
+		saved = res.Report.MergeOverlapSaved > 0
+	}
+	if !saved {
+		t.Error("MergeOverlapSaved stayed zero across attempts: no merge work overlapped the exchange")
+	}
+
+	// Under the pipelined scheduler the trace carries the merge spans.
+	e := newTestEngine(t, Options{Procs: 4, WorkersPerProc: 2, Merge: MergeOverlap})
+	datasets := [][][]uint64{
+		mkParts(dist.Uniform, 4, 5000, 1),
+		mkParts(dist.Normal, 4, 5000, 2),
+	}
+	results, err := e.SortMany(datasets...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, res := range results {
+		if err := res.Verify(datasets[d]); err != nil {
+			t.Fatalf("dataset %d: %v", d, err)
+		}
+		if len(res.Report.Sched.MergeSpans) == 0 {
+			t.Errorf("dataset %d: no merge spans in the scheduler trace", d)
+		}
+		for _, sp := range res.Report.Sched.MergeSpans {
+			if sp.End < sp.Start || sp.Entries <= 0 || sp.Node < 0 || sp.Node >= 4 {
+				t.Errorf("dataset %d: malformed span %+v", d, sp)
+			}
+		}
+		if !strings.Contains(res.Report.Sched.String(), "merge-spans") {
+			t.Errorf("dataset %d: trace String does not mention merge spans", d)
+		}
+	}
+}
+
+// TestMergeAutoResolution: the default strategy resolves by processor
+// count and hardware parallelism, and honours the PGXSORT_OVERLAP
+// ablation env var.
+func TestMergeAutoResolution(t *testing.T) {
+	t.Setenv(OverlapEnv, "")
+	wantWide := MergeBalanced
+	if runtime.GOMAXPROCS(0) >= overlapAutoMinCPUs {
+		// Overlap needs spare CPUs to hide merge work behind the exchange;
+		// a single-CPU runtime correctly falls back to the barriered path.
+		wantWide = MergeOverlap
+	}
+	if m := (Options{Procs: 8}).withDefaults().Merge; m != wantWide {
+		t.Errorf("auto at p=8 resolved to %v, want %v", m, wantWide)
+	}
+	if m := (Options{Procs: 2}).withDefaults().Merge; m != MergeBalanced {
+		t.Errorf("auto at p=2 resolved to %v, want balanced", m)
+	}
+	if m := (Options{Procs: 8, Merge: MergeKWay}).withDefaults().Merge; m != MergeKWay {
+		t.Errorf("explicit kway overridden to %v", m)
+	}
+	t.Setenv(OverlapEnv, "off")
+	if m := (Options{Procs: 8}).withDefaults().Merge; m != MergeBalanced {
+		t.Errorf("auto with env off resolved to %v, want balanced", m)
+	}
+	if m := (Options{Procs: 8, Merge: MergeOverlap}).withDefaults().Merge; m != MergeOverlap {
+		t.Errorf("env off overrode an explicit overlap to %v", m)
+	}
+	t.Setenv(OverlapEnv, "on")
+	if m := (Options{Procs: 2}).withDefaults().Merge; m != MergeOverlap {
+		t.Errorf("auto with env on resolved to %v, want overlap", m)
+	}
+}
+
+func TestParseOverlapFlag(t *testing.T) {
+	cases := map[string]MergeStrategy{"auto": MergeAuto, "": MergeAuto,
+		"on": MergeOverlap, "off": MergeBalanced}
+	for in, want := range cases {
+		got, err := ParseOverlapFlag(in)
+		if err != nil || got != want {
+			t.Errorf("ParseOverlapFlag(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseOverlapFlag("sideways"); err == nil {
+		t.Error("bad overlap mode accepted")
+	}
+}

@@ -95,6 +95,17 @@ func (s SchedStage) Serial() bool {
 	return s == StageSplitters || s == StageExchange
 }
 
+// MergeSpan records one merge operation of the streaming exchange–merge
+// overlap: which node ran it, when (offsets from the batch epoch), how
+// many entries it produced, and whether it executed inside that node's
+// exchange window (the overlap working) or in the post-exchange tail.
+type MergeSpan struct {
+	Node       int
+	Start, End time.Duration
+	Entries    int
+	Overlapped bool
+}
+
 // SchedTrace describes one sort's passage through the SortMany scheduler.
 // It is the zero value for plain Sort calls. All offsets are relative to
 // the batch epoch (the SortMany call), so overlap between datasets is
@@ -112,6 +123,11 @@ type SchedTrace struct {
 	// when the first node entered and when the last node left.
 	StageStart [NumSchedStages]time.Duration
 	StageEnd   [NumSchedStages]time.Duration
+	// MergeSpans lists the streaming merger's per-run merge operations
+	// across all nodes (empty outside MergeOverlap). Spans flagged
+	// Overlapped ran inside the exchange window — merge latency the
+	// overlap hid behind network time.
+	MergeSpans []MergeSpan
 }
 
 // String renders the trace as one line per stage.
@@ -127,6 +143,16 @@ func (t *SchedTrace) String() string {
 			fmt.Fprintf(&b, " gate-wait %v", t.StageWait[s])
 		}
 		b.WriteByte('\n')
+	}
+	if len(t.MergeSpans) > 0 {
+		overlapped := 0
+		for _, sp := range t.MergeSpans {
+			if sp.Overlapped {
+				overlapped++
+			}
+		}
+		fmt.Fprintf(&b, "  merge-spans %d (%d inside the exchange window)\n",
+			len(t.MergeSpans), overlapped)
 	}
 	return b.String()
 }
@@ -173,6 +199,11 @@ type NodeReport struct {
 	// LocalSortPath is the step-1 path this node took: "radix" (the
 	// non-comparison fast path over normalized keys) or "comparison".
 	LocalSortPath string
+	// MergeOverlapSaved is the merge CPU time this node's streaming merger
+	// spent inside the step-5 exchange window under MergeOverlap — merge
+	// latency hidden behind network time that the barriered paths would
+	// serialize after it. Zero on the barriered strategies.
+	MergeOverlapSaved time.Duration
 }
 
 // Report aggregates a distributed sort run, providing every measurement
@@ -214,6 +245,14 @@ type Report struct {
 	// LocalSortPath is the step-1 path the engine resolved for this sort:
 	// "radix" or "comparison" (same on every node; see Options.LocalSort).
 	LocalSortPath string
+	// MergePath is the step-6 strategy the engine resolved for this sort:
+	// "overlap", "balanced" or "kway" (see Options.Merge).
+	MergePath string
+	// MergeOverlapSaved is the largest per-node merge time hidden inside
+	// the exchange window (max of NodeReport.MergeOverlapSaved): the
+	// critical-path latency the streaming overlap removed relative to a
+	// barriered merge. Zero on the barriered strategies.
+	MergeOverlapSaved time.Duration
 	// Sched describes this sort's passage through the SortMany scheduler
 	// (zero value for plain Sort calls).
 	Sched SchedTrace
@@ -271,6 +310,9 @@ func (r *Report) String() string {
 	if r.LocalSortPath != "" {
 		fmt.Fprintf(&b, " (local sort: %s)", r.LocalSortPath)
 	}
+	if r.MergePath != "" {
+		fmt.Fprintf(&b, " (merge: %s)", r.MergePath)
+	}
 	b.WriteByte('\n')
 	for s := Step(0); s < NumSteps; s++ {
 		fmt.Fprintf(&b, "  %-12s %v\n", s.String(), r.Steps[s])
@@ -278,6 +320,9 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "  comm: %d msgs, %d bytes (samples %d, meta %d, data %d)\n",
 		r.MsgsSent, r.BytesSent, r.SampleBytes, r.MetaBytes, r.DataBytes)
 	fmt.Fprintf(&b, "  memory: %d resident, %d temp peak\n", r.ResidentBytes, r.TempPeakBytes)
+	if r.MergeOverlapSaved > 0 {
+		fmt.Fprintf(&b, "  overlap: %v of merge time hidden inside the exchange\n", r.MergeOverlapSaved)
+	}
 	if r.SendStall > 0 || r.Reconnects > 0 {
 		fmt.Fprintf(&b, "  transport: %v worst send stall, %d reconnects, %d frames resent\n",
 			r.SendStall, r.Reconnects, r.FramesResent)

@@ -202,9 +202,11 @@ func (r *Result[K]) Verify(inputs [][]K) error {
 			if op >= len(inputs) || oi >= len(inputs[op]) {
 				return fmt.Errorf("core: entry in part %d has origin (%d,%d) out of range", pi, op, oi)
 			}
-			if inputs[op][oi] != e.Key {
+			// NaN float keys are unequal to themselves under ==; an entry
+			// whose key and input are both NaN still matches.
+			if in := inputs[op][oi]; in != e.Key && !(in != in && e.Key != e.Key) {
 				return fmt.Errorf("core: entry key %v does not match input[%d][%d]=%v",
-					e.Key, op, oi, inputs[op][oi])
+					e.Key, op, oi, in)
 			}
 			flat := offsets[op] + oi
 			if seen[flat] {

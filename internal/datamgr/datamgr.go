@@ -49,8 +49,12 @@ func (m *Manager) ChunkLen(entryBytes int) int {
 
 // Chunks invokes fn for each buffer-sized chunk of entries, in order.
 // It mirrors the request-buffer flush behaviour: a message goes out when
-// the buffer fills or the remaining data ends (flush-on-complete).
-func Chunks[K any](m *Manager, entries []comm.Entry[K], keyBytes int, fn func(chunk []comm.Entry[K]) error) error {
+// the buffer fills or the remaining data ends (flush-on-complete). last is
+// true on the final chunk, so senders can stamp a run-complete signal on
+// it (comm.FlagRunComplete) for the receive-side streaming merger.
+// Zero entries invoke fn not at all: an empty run has no final chunk, and
+// receivers learn its completeness from the range metadata instead.
+func Chunks[K any](m *Manager, entries []comm.Entry[K], keyBytes int, fn func(chunk []comm.Entry[K], last bool) error) error {
 	if len(entries) == 0 {
 		return nil
 	}
@@ -60,7 +64,7 @@ func Chunks[K any](m *Manager, entries []comm.Entry[K], keyBytes int, fn func(ch
 		if hi > len(entries) {
 			hi = len(entries)
 		}
-		if err := fn(entries[lo:hi]); err != nil {
+		if err := fn(entries[lo:hi], hi == len(entries)); err != nil {
 			return err
 		}
 	}
@@ -84,6 +88,16 @@ type Assembly[K any] struct {
 	done     chan struct{}
 	tracker  *alloc.Tracker
 	size     int64
+
+	// Run-completion notification state (all guarded by gotMu): runDone
+	// marks sources whose region is fully written, notified marks sources
+	// whose completion has been handed to onRun, and onRun is the handler
+	// OnRunComplete registered. This is what lets a streaming merger start
+	// consuming a peer's run while the rest of the exchange is still in
+	// flight, instead of waiting on the whole-assembly Done barrier.
+	runDone  []bool
+	notified []bool
+	onRun    func(src int)
 }
 
 // NewAssembly allocates an assembly buffer for perSrc[i] entries from each
@@ -119,12 +133,17 @@ func NewAssemblyBuf[K any](m *Manager, perSrc []int, entryBytes int, buf []comm.
 		buf = make([]comm.Entry[K], total)
 	}
 	a := &Assembly[K]{
-		entries: buf,
-		offsets: offsets,
-		cursor:  make([]int, len(perSrc)),
-		expect:  append([]int(nil), perSrc...),
-		missing: missing,
-		done:    make(chan struct{}),
+		entries:  buf,
+		offsets:  offsets,
+		cursor:   make([]int, len(perSrc)),
+		expect:   append([]int(nil), perSrc...),
+		missing:  missing,
+		done:     make(chan struct{}),
+		runDone:  make([]bool, len(perSrc)),
+		notified: make([]bool, len(perSrc)),
+	}
+	for src, n := range perSrc {
+		a.runDone[src] = n == 0 // nothing to wait for: complete at birth
 	}
 	if m != nil && m.Tracker != nil {
 		a.tracker = m.Tracker
@@ -153,6 +172,7 @@ func (a *Assembly[K]) Write(src int, chunk []comm.Entry[K]) error {
 	}
 	copy(a.entries[base+cur:], chunk)
 	a.cursor[src] = cur + len(chunk)
+	complete := a.cursor[src] == a.expect[src]
 
 	a.gotMu.Lock()
 	a.missing -= len(chunk)
@@ -160,11 +180,61 @@ func (a *Assembly[K]) Write(src int, chunk []comm.Entry[K]) error {
 	if finished {
 		a.signaled = true
 	}
+	var notify func(src int)
+	if complete {
+		a.runDone[src] = true
+		if a.onRun != nil && !a.notified[src] {
+			a.notified[src] = true
+			notify = a.onRun
+		}
+	}
 	a.gotMu.Unlock()
+	if notify != nil {
+		notify(src)
+	}
 	if finished {
 		close(a.done)
 	}
 	return nil
+}
+
+// OnRunComplete registers fn to be invoked exactly once per source as soon
+// as that source's run is fully assembled. Sources that are already
+// complete — including those expecting zero entries — fire immediately on
+// the registering goroutine, in source order; later completions fire on
+// the goroutine whose Write finished the run. Register before writing (the
+// engine registers right after constructing the assembly); only one
+// handler may be registered per assembly.
+func (a *Assembly[K]) OnRunComplete(fn func(src int)) {
+	a.gotMu.Lock()
+	a.onRun = fn
+	var fire []int
+	for src := range a.expect {
+		if a.runDone[src] && !a.notified[src] {
+			a.notified[src] = true
+			fire = append(fire, src)
+		}
+	}
+	a.gotMu.Unlock()
+	for _, src := range fire {
+		fn(src)
+	}
+}
+
+// RunComplete reports whether source src's region is fully written.
+func (a *Assembly[K]) RunComplete(src int) bool {
+	if src < 0 || src >= len(a.runDone) {
+		return false
+	}
+	a.gotMu.Lock()
+	defer a.gotMu.Unlock()
+	return a.runDone[src]
+}
+
+// Run returns source src's region of the assembled buffer — a sorted run
+// once RunComplete(src) is true.
+func (a *Assembly[K]) Run(src int) []comm.Entry[K] {
+	return a.entries[a.offsets[src]:a.offsets[src+1]]
 }
 
 // Done is closed once every expected entry has been written.

@@ -36,8 +36,10 @@ func TestChunksSplitsOnBufferSize(t *testing.T) {
 	}
 	var sizes []int
 	var seen []uint64
-	err := Chunks(m, entries, 8, func(chunk []comm.Entry[uint64]) error {
+	var lasts []bool
+	err := Chunks(m, entries, 8, func(chunk []comm.Entry[uint64], last bool) error {
 		sizes = append(sizes, len(chunk))
+		lasts = append(lasts, last)
 		for _, e := range chunk {
 			seen = append(seen, e.Key)
 		}
@@ -60,12 +62,18 @@ func TestChunksSplitsOnBufferSize(t *testing.T) {
 			t.Fatalf("chunk order broken at %d", i)
 		}
 	}
+	// Only the final chunk carries the run-complete marker.
+	for i, last := range lasts {
+		if want := i == len(lasts)-1; last != want {
+			t.Fatalf("lasts = %v, final chunk alone must be last", lasts)
+		}
+	}
 }
 
 func TestChunksEmpty(t *testing.T) {
 	m := &Manager{}
 	called := false
-	err := Chunks(m, nil, 8, func([]comm.Entry[uint64]) error {
+	err := Chunks(m, nil, 8, func([]comm.Entry[uint64], bool) error {
 		called = true
 		return nil
 	})
@@ -185,6 +193,69 @@ func TestAssemblyZeroExpected(t *testing.T) {
 	case <-a.Done():
 	default:
 		t.Fatal("assembly with nothing expected should be done immediately")
+	}
+}
+
+func TestAssemblyRunCompletionNotifies(t *testing.T) {
+	// Sources: 0 expects 2 (completed across two writes), 1 expects 0
+	// (complete at birth), 2 expects 1.
+	a := NewAssembly[uint64](nil, []int{2, 0, 1}, 16)
+	var fired []int
+	a.OnRunComplete(func(src int) { fired = append(fired, src) })
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("registration fired %v, want just the zero-expect source 1", fired)
+	}
+	if !a.RunComplete(1) || a.RunComplete(0) || a.RunComplete(2) {
+		t.Fatal("RunComplete state wrong after registration")
+	}
+	if err := a.Write(0, []comm.Entry[uint64]{{Key: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 {
+		t.Fatalf("partial write fired %v", fired)
+	}
+	if err := a.Write(2, []comm.Entry[uint64]{{Key: 9}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Write(0, []comm.Entry[uint64]{{Key: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 0}
+	if len(fired) != len(want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+	// Completed runs are readable through Run.
+	if r := a.Run(0); len(r) != 2 || r[0].Key != 1 || r[1].Key != 2 {
+		t.Fatalf("Run(0) = %v", r)
+	}
+	if r := a.Run(1); len(r) != 0 {
+		t.Fatalf("Run(1) = %v, want empty", r)
+	}
+	<-a.Done()
+}
+
+func TestAssemblyLateRegistrationFiresCompleted(t *testing.T) {
+	// Runs that completed before OnRunComplete was registered fire at
+	// registration, exactly once each.
+	a := NewAssembly[uint64](nil, []int{1, 1}, 16)
+	if err := a.Write(1, []comm.Entry[uint64]{{Key: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	var fired []int
+	a.OnRunComplete(func(src int) { fired = append(fired, src) })
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("late registration fired %v, want [1]", fired)
+	}
+	if err := a.Write(0, []comm.Entry[uint64]{{Key: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[1] != 0 {
+		t.Fatalf("fired = %v, want [1 0]", fired)
 	}
 }
 

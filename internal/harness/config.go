@@ -37,6 +37,10 @@ type Config struct {
 	// LocalSort forces a step-1 path for every experiment that does not
 	// sweep paths itself (default core.LocalSortAuto).
 	LocalSort core.LocalSortMode
+	// Merge forces a step-6 strategy for every experiment that does not
+	// sweep strategies itself (default core.MergeAuto — the engine picks
+	// the streaming overlap at p >= 4).
+	Merge core.MergeStrategy
 	// ListenAddrs / PeerAddrs bind the TCP transport to explicit
 	// addresses (the CLIs' -listen/-peers flags). They only apply when a
 	// sweep point's processor count matches their length; other points
@@ -133,6 +137,9 @@ func (c Config) runPGXD(parts [][]uint64, opts core.Options) (*core.Report, erro
 	}
 	if opts.LocalSort == core.LocalSortAuto {
 		opts.LocalSort = c.LocalSort
+	}
+	if opts.Merge == core.MergeAuto {
+		opts.Merge = c.Merge
 	}
 	if len(c.ListenAddrs) > 0 || len(c.PeerAddrs) > 0 {
 		if len(c.ListenAddrs) > 0 && len(c.ListenAddrs) != opts.Procs {

@@ -30,6 +30,7 @@ var registry = []Experiment{
 	{"pipeline", "SortMany schedules: sequential vs naive vs pipelined (ISSUE 2)", Fig56Pipeline},
 	{"localsort", "local-sort paths: comparison vs radix fast path (ISSUE 3)", LocalSortPaths},
 	{"chaos", "TCP transport under injected connection resets (ISSUE 4)", Chaos},
+	{"mergeoverlap", "streaming exchange–merge overlap vs barriered merge (ISSUE 5)", MergeOverlap},
 	{"ablation-investigator", "investigator on/off (DESIGN.md)", AblationInvestigator},
 	{"ablation-merge", "balanced vs k-way merge (DESIGN.md)", AblationMerge},
 	{"ablation-async", "async vs bulk-synchronous exchange (DESIGN.md)", AblationAsync},

@@ -42,8 +42,19 @@ func mergeInto[E any](dst, a, b []E, less func(x, y E) bool) {
 // merged result. If parallel is true the merges of each round execute
 // concurrently.
 func MergeAdjacentRuns[E any](data, scratch []E, bounds []int, less func(x, y E) bool, parallel bool) []E {
+	out, _ := MergeAdjacentRunsOwned(data, scratch, bounds, less, parallel)
+	return out
+}
+
+// MergeAdjacentRunsOwned is MergeAdjacentRuns reporting which buffer backs
+// the result: fromScratch is true when the merged slice is carved from
+// scratch and false when it is carved from data. Callers recycling both
+// buffers through a pool need this ownership bit explicitly — comparing
+// base pointers misfires for zero-length results (no element to take the
+// address of) and is fragile against sub-slice offsets.
+func MergeAdjacentRunsOwned[E any](data, scratch []E, bounds []int, less func(x, y E) bool, parallel bool) (out []E, fromScratch bool) {
 	if len(bounds) < 2 {
-		return data[:0]
+		return data[:0], false
 	}
 	if len(scratch) < len(data) {
 		panic("lsort: scratch smaller than data")
@@ -89,8 +100,9 @@ func MergeAdjacentRuns[E any](data, scratch []E, bounds []int, less func(x, y E)
 		}
 		wg.Wait()
 		src, dst = dst, src
+		fromScratch = !fromScratch
 	}
-	return src[:b[runs]]
+	return src[:b[runs]], fromScratch
 }
 
 // MergeRuns merges separately allocated sorted runs with the balanced

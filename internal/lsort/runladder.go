@@ -1,0 +1,148 @@
+package lsort
+
+import "time"
+
+// RunLadder is an incremental k-way merger: it accepts sorted runs one at
+// a time — in any order, as they become available — and merges them
+// eagerly under a binary-counter discipline, so that by the time the last
+// run arrives most of the merge work is already done. It is the
+// receive-side half of the streaming exchange–merge overlap: the engine
+// pushes each peer's run the moment its assembly region completes, and
+// the ladder burns merge CPU during network idle time instead of after
+// the exchange barrier (cf. Axtmann et al., "Practical Massively Parallel
+// Sorting", which overlaps merging with the data exchange).
+//
+// The ladder keeps a stack of pending runs ordered largest-at-the-bottom.
+// After each Push it merges the top two runs while the newest is at least
+// as large as the one beneath it — the same invariant as a binary counter
+// — which bounds total element moves to O(n log k) for k roughly equal
+// runs, matching the balanced merging handler's total work. Finish
+// collapses whatever remains (smallest pairs first) with the
+// splitter-partitioned parallel merge and returns the single sorted run.
+//
+// A RunLadder is not safe for concurrent use: one goroutine owns it.
+type RunLadder[E any] struct {
+	less func(a, b E) bool
+	// Get/Put provide merge output buffers (e.g. an alloc.SlabPool bound
+	// to a temp-memory tracker). Get must return a slice of length n; Put
+	// receives exactly the slices Get returned. Either may be nil, in
+	// which case the ladder allocates fresh buffers and drops consumed
+	// ones for the GC.
+	get func(n int) []E
+	put func(s []E)
+	// Ways is the segment count ParallelMergeInto splits each merge into
+	// (<= 1 means sequential).
+	ways int
+	// Note, when non-nil, observes every merge operation: the output
+	// length and its wall-clock span. The engine uses it to attribute
+	// merge time to the exchange window (Report.MergeOverlapSaved) and to
+	// record per-merge spans in SchedTrace.
+	note func(entries int, start, end time.Time)
+
+	stack []ladderRun[E]
+}
+
+// ladderRun is one pending run: its data and whether the ladder owns the
+// backing buffer (obtained from get, returned through put when consumed).
+// Borrowed runs — pushed with owned=false — are never passed to put; the
+// caller keeps their backing alive until Finish or Abort returns.
+type ladderRun[E any] struct {
+	data  []E
+	owned bool
+}
+
+// NewRunLadder builds a ladder merging under less. See RunLadder for the
+// get/put/ways/note contracts.
+func NewRunLadder[E any](less func(a, b E) bool, get func(n int) []E, put func(s []E), ways int, note func(entries int, start, end time.Time)) *RunLadder[E] {
+	if get == nil {
+		get = func(n int) []E { return make([]E, n) }
+	}
+	if ways < 1 {
+		ways = 1
+	}
+	return &RunLadder[E]{less: less, get: get, put: put, ways: ways, note: note}
+}
+
+// Push adds one sorted run and merges eagerly while the binary-counter
+// invariant is violated. An empty owned run is returned to put
+// immediately; an empty borrowed run is dropped.
+func (l *RunLadder[E]) Push(run []E, owned bool) {
+	if len(run) == 0 {
+		if owned && l.put != nil {
+			l.put(run)
+		}
+		return
+	}
+	l.stack = append(l.stack, ladderRun[E]{data: run, owned: owned})
+	for len(l.stack) >= 2 {
+		a := l.stack[len(l.stack)-2]
+		b := l.stack[len(l.stack)-1]
+		if len(b.data) < len(a.data) {
+			break
+		}
+		l.mergeTop2()
+	}
+}
+
+// mergeTop2 merges the two topmost runs into a fresh buffer from get and
+// replaces them with the result, releasing consumed owned inputs.
+func (l *RunLadder[E]) mergeTop2() {
+	n := len(l.stack)
+	a, b := l.stack[n-2], l.stack[n-1]
+	start := time.Now()
+	out := l.get(len(a.data) + len(b.data))
+	ParallelMergeInto(out, a.data, b.data, l.less, l.ways)
+	if l.note != nil {
+		l.note(len(out), start, time.Now())
+	}
+	if l.put != nil {
+		if a.owned {
+			l.put(a.data)
+		}
+		if b.owned {
+			l.put(b.data)
+		}
+	}
+	l.stack = l.stack[:n-2]
+	l.stack = append(l.stack, ladderRun[E]{data: out, owned: true})
+}
+
+// Runs reports how many pending runs the ladder currently holds.
+func (l *RunLadder[E]) Runs() int { return len(l.stack) }
+
+// Len reports the total number of entries currently held.
+func (l *RunLadder[E]) Len() int {
+	n := 0
+	for _, r := range l.stack {
+		n += len(r.data)
+	}
+	return n
+}
+
+// Finish merges every remaining run — smallest pairs first, so operand
+// sizes stay balanced — and returns the fully merged result plus whether
+// its backing came from get (owned=false means the single pushed run was
+// borrowed and still aliases the caller's buffer). An empty ladder
+// returns (nil, false). The ladder is empty afterwards and may be reused.
+func (l *RunLadder[E]) Finish() (out []E, owned bool) {
+	for len(l.stack) >= 2 {
+		l.mergeTop2()
+	}
+	if len(l.stack) == 0 {
+		return nil, false
+	}
+	r := l.stack[0]
+	l.stack = l.stack[:0]
+	return r.data, r.owned
+}
+
+// Abort returns every owned buffer to put and empties the ladder, for
+// error paths where the merged result will never be consumed.
+func (l *RunLadder[E]) Abort() {
+	for _, r := range l.stack {
+		if r.owned && l.put != nil {
+			l.put(r.data)
+		}
+	}
+	l.stack = l.stack[:0]
+}

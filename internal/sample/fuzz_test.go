@@ -27,7 +27,7 @@ func FuzzPartition(f *testing.F) {
 		}
 		sort.Slice(splitters, func(i, j int) bool { return splitters[i] < splitters[j] })
 
-		r := Partition(data, splitters, lessU64, greaterU64, investigate)
+		r := Partition(data, splitters, lessU64, greaterU64, belowU64, investigate)
 		if r.Bounds[0] != 0 || r.Bounds[len(r.Bounds)-1] != len(data) {
 			t.Fatalf("bounds do not cover input: %v", r.Bounds)
 		}
@@ -41,12 +41,16 @@ func FuzzPartition(f *testing.F) {
 				t.Fatalf("negative range at %d: %v", d, r.Bounds)
 			}
 			total += hi - lo
-			// Everything in bucket d must be <= splitters[d].
-			if d < len(splitters) {
-				for i := lo; i < hi; i++ {
-					if data[i] > splitters[d] {
-						t.Fatalf("bucket %d holds %d > splitter %d", d, data[i], splitters[d])
-					}
+			// Everything in bucket d must be <= splitters[d], and nothing
+			// in bucket d may sort strictly below splitters[d-1]: an
+			// element below the previous splitter would break global
+			// order against another processor's bucket d-1 contents.
+			for i := lo; i < hi; i++ {
+				if d < len(splitters) && data[i] > splitters[d] {
+					t.Fatalf("bucket %d holds %d > splitter %d", d, data[i], splitters[d])
+				}
+				if d > 0 && data[i] < splitters[d-1] {
+					t.Fatalf("bucket %d holds %d < previous splitter %d", d, data[i], splitters[d-1])
 				}
 			}
 		}

@@ -31,16 +31,22 @@ func (r Ranges) NumDests() int { return len(r.Bounds) - 1 }
 //
 // data holds locally sorted elements (e.g. entries carrying provenance)
 // while splitters hold bare keys; lessSS orders splitters against each
-// other and elemGreaterS reports whether an element's key is strictly
-// greater than a splitter.
+// other, elemGreaterS reports whether an element's key is strictly greater
+// than a splitter, and elemBelowS whether it is strictly smaller.
 //
 // When investigate is true the paper's investigator is applied (Figure 3c):
-// binary search runs once per *distinct* splitter value, and the range
-// determined for a group of g duplicated splitters is divided equally
-// among the group's g destinations instead of all landing on the first one
-// (Figure 3b). This is what keeps the workload balanced on datasets with
-// many duplicated entries.
-func Partition[E, S any](data []E, splitters []S, lessSS func(a, b S) bool, elemGreaterS func(e E, s S) bool, investigate bool) Ranges {
+// binary search runs once per *distinct* splitter value, and the
+// duplicates of that value are divided equally among the group's g
+// destinations instead of all landing on the first one (Figure 3b).
+// Elements strictly below the duplicated value stay with the group's first
+// destination — they must sort before every duplicate, and on this
+// processor only the first destination of the group precedes them. (An
+// earlier version divided the whole range below the value, which let keys
+// smaller than the duplicate land on a later destination than another
+// processor's duplicates, breaking global order across processors.) This
+// is what keeps the workload balanced on datasets with many duplicated
+// entries without reordering them.
+func Partition[E, S any](data []E, splitters []S, lessSS func(a, b S) bool, elemGreaterS func(e E, s S) bool, elemBelowS func(e E, s S) bool, investigate bool) Ranges {
 	p := len(splitters) + 1
 	bounds := make([]int, p+1)
 	bounds[p] = len(data)
@@ -70,11 +76,21 @@ func Partition[E, S any](data []E, splitters []S, lessSS func(a, b S) bool, elem
 				bounds[j+t] = hi
 			}
 		} else {
-			// Investigator: divide [prev, hi) equally among the g
-			// destinations of the duplicated splitter group.
-			span := hi - prev
+			// Investigator: the duplicates of the splitter value — the
+			// elements in [lo, hi) — divide equally among the group's g
+			// destinations; the elements of [prev, lo), strictly below the
+			// value, stay with the first destination they sort before the
+			// duplicates on.
+			lo := lsort.LowerBound(data, splitters[j], elemBelowS)
+			if lo < prev {
+				lo = prev
+			}
+			if lo > hi {
+				lo = hi
+			}
+			span := hi - lo
 			for t := 1; t <= g; t++ {
-				bounds[j+t] = prev + t*span/g
+				bounds[j+t] = lo + t*span/g
 			}
 		}
 		prev = bounds[group+1]

@@ -11,6 +11,7 @@ import (
 
 func lessU64(a, b uint64) bool    { return a < b }
 func greaterU64(a, b uint64) bool { return a > b }
+func belowU64(a, b uint64) bool   { return a < b }
 
 func TestCount(t *testing.T) {
 	cases := []struct {
@@ -134,7 +135,7 @@ func TestPartitionDistinctSplitters(t *testing.T) {
 	}
 	splitters := []uint64{24, 49, 74}
 	for _, inv := range []bool{false, true} {
-		r := Partition(data, splitters, lessU64, greaterU64, inv)
+		r := Partition(data, splitters, lessU64, greaterU64, belowU64, inv)
 		rangesCover(t, r, 100)
 		counts := r.Counts()
 		want := []int{25, 25, 25, 25}
@@ -149,7 +150,7 @@ func TestPartitionDistinctSplitters(t *testing.T) {
 func TestPartitionRespectsSplitterSemantics(t *testing.T) {
 	// Keys equal to a distinct splitter go to that splitter's bucket.
 	data := []uint64{1, 2, 2, 2, 3, 4}
-	r := Partition(data, []uint64{2, 3}, lessU64, greaterU64, true)
+	r := Partition(data, []uint64{2, 3}, lessU64, greaterU64, belowU64, true)
 	counts := r.Counts()
 	// Bucket 0: <=2 -> {1,2,2,2}; bucket 1: (2,3] -> {3}; bucket 2: {4}.
 	if counts[0] != 4 || counts[1] != 1 || counts[2] != 1 {
@@ -165,7 +166,7 @@ func TestPartitionDuplicatedSplittersNaive(t *testing.T) {
 		data[i] = 42
 	}
 	splitters := []uint64{42, 42, 42} // p = 4
-	r := Partition(data, splitters, lessU64, greaterU64, false)
+	r := Partition(data, splitters, lessU64, greaterU64, belowU64, false)
 	rangesCover(t, r, 80)
 	counts := r.Counts()
 	if counts[0] != 80 || counts[1] != 0 || counts[2] != 0 || counts[3] != 0 {
@@ -181,7 +182,7 @@ func TestPartitionDuplicatedSplittersInvestigator(t *testing.T) {
 		data[i] = 42
 	}
 	splitters := []uint64{42, 42, 42}
-	r := Partition(data, splitters, lessU64, greaterU64, true)
+	r := Partition(data, splitters, lessU64, greaterU64, belowU64, true)
 	rangesCover(t, r, 80)
 	counts := r.Counts()
 	// Destinations 0,1,2 share the run equally (80/3 with integer
@@ -207,12 +208,14 @@ func TestPartitionMixedDuplicates(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		data = append(data, 9)
 	}
-	r := Partition(data, []uint64{5, 5, 9}, lessU64, greaterU64, true)
+	r := Partition(data, []uint64{5, 5, 9}, lessU64, greaterU64, belowU64, true)
 	rangesCover(t, r, 60)
 	counts := r.Counts()
-	// Group {5,5}: range [0,50) divided equally -> 25, 25.
+	// Group {5,5}: the ones sort strictly below the duplicated value, so
+	// they stay with the group's first destination (they must precede
+	// every five globally); only the 40 fives divide equally -> 10+20, 20.
 	// Distinct splitter 9: (5,9] -> 10. Last bucket: nothing above 9.
-	want := []int{25, 25, 10, 0}
+	want := []int{30, 20, 10, 0}
 	for i := range want {
 		if counts[i] != want[i] {
 			t.Errorf("counts = %v, want %v", counts, want)
@@ -221,7 +224,7 @@ func TestPartitionMixedDuplicates(t *testing.T) {
 }
 
 func TestPartitionEmptyData(t *testing.T) {
-	r := Partition([]uint64{}, []uint64{1, 2}, lessU64, greaterU64, true)
+	r := Partition([]uint64{}, []uint64{1, 2}, lessU64, greaterU64, belowU64, true)
 	rangesCover(t, r, 0)
 	for _, c := range r.Counts() {
 		if c != 0 {
@@ -232,7 +235,7 @@ func TestPartitionEmptyData(t *testing.T) {
 
 func TestPartitionNoSplitters(t *testing.T) {
 	data := []uint64{3, 1, 2}
-	r := Partition(data, nil, lessU64, greaterU64, true)
+	r := Partition(data, nil, lessU64, greaterU64, belowU64, true)
 	if r.NumDests() != 1 {
 		t.Fatalf("p=1 should yield a single range")
 	}
@@ -261,7 +264,7 @@ func TestInvestigatorBalancesSkewedData(t *testing.T) {
 	gather := func(inv bool) (int, int) {
 		var all []Ranges
 		for _, l := range locals {
-			all = append(all, Partition(l, splitters, lessU64, greaterU64, inv))
+			all = append(all, Partition(l, splitters, lessU64, greaterU64, belowU64, inv))
 		}
 		return MaxMinCounts(all)
 	}
@@ -295,7 +298,7 @@ func TestPropertyPartitionWellFormed(t *testing.T) {
 		splitters := append([]uint64(nil), sraw...)
 		sort.Slice(splitters, func(i, j int) bool { return splitters[i] < splitters[j] })
 		for _, inv := range []bool{false, true} {
-			r := Partition(data, splitters, lessU64, greaterU64, inv)
+			r := Partition(data, splitters, lessU64, greaterU64, belowU64, inv)
 			if r.Bounds[0] != 0 || r.Bounds[len(r.Bounds)-1] != len(data) {
 				return false
 			}
@@ -305,11 +308,17 @@ func TestPropertyPartitionWellFormed(t *testing.T) {
 				}
 			}
 			// Range contents must respect splitter order: everything in
-			// bucket d is <= splitters[d] (when d < p-1).
-			for d := 0; d < r.NumDests()-1; d++ {
+			// bucket d is <= splitters[d] (when d < p-1), and nothing in
+			// bucket d sorts strictly below splitters[d-1] — the cross-
+			// processor global-order invariant the investigator must keep
+			// even when it divides duplicated-splitter groups.
+			for d := 0; d < r.NumDests(); d++ {
 				lo, hi := r.Range(d)
 				for i := lo; i < hi; i++ {
-					if data[i] > splitters[d] {
+					if d < r.NumDests()-1 && data[i] > splitters[d] {
+						return false
+					}
+					if d > 0 && data[i] < splitters[d-1] {
 						return false
 					}
 				}

@@ -32,20 +32,21 @@ import (
 // frame header layout (little endian):
 //
 //	kind     uint8
+//	flags    uint8
 //	src      int32
 //	sortID   int32
 //	nEntries int32
 //	nKeys    int32
 //	nInts    int32
 //	seq      uint64
-const headerBytes = 1 + 4*5 + 8
+const headerBytes = 2 + 4*5 + 8
 
 // handshake layout (little endian): magic, version, src, dst from the
 // dialer; the acceptor replies with the 8-byte next expected sequence
 // number for the (src -> dst) link, which doubles as a cumulative ack.
 const (
 	hsMagic   = "PGXS"
-	hsVersion = 2
+	hsVersion = 3 // v3 added the flags byte to the frame header
 	hsBytes   = 4 + 1 + 4 + 4
 	ackBytes  = 8
 )
@@ -57,6 +58,7 @@ const writeBufBytes = 256 * 1024
 type frame struct {
 	seq      uint64
 	kind     comm.Kind
+	flags    uint8
 	src      int32
 	sortID   int32
 	nEntries int32
@@ -68,12 +70,13 @@ type frame struct {
 
 func (f *frame) putHeader(b []byte) {
 	b[0] = byte(f.kind)
-	binary.LittleEndian.PutUint32(b[1:], uint32(f.src))
-	binary.LittleEndian.PutUint32(b[5:], uint32(f.sortID))
-	binary.LittleEndian.PutUint32(b[9:], uint32(f.nEntries))
-	binary.LittleEndian.PutUint32(b[13:], uint32(f.nKeys))
-	binary.LittleEndian.PutUint32(b[17:], uint32(f.nInts))
-	binary.LittleEndian.PutUint64(b[21:], f.seq)
+	b[1] = f.flags
+	binary.LittleEndian.PutUint32(b[2:], uint32(f.src))
+	binary.LittleEndian.PutUint32(b[6:], uint32(f.sortID))
+	binary.LittleEndian.PutUint32(b[10:], uint32(f.nEntries))
+	binary.LittleEndian.PutUint32(b[14:], uint32(f.nKeys))
+	binary.LittleEndian.PutUint32(b[18:], uint32(f.nInts))
+	binary.LittleEndian.PutUint64(b[22:], f.seq)
 }
 
 type tcpNetwork[K any] struct {
@@ -586,14 +589,15 @@ func (n *tcpNetwork[K]) readLoop(conn net.Conn, src, dst int, st *recvState, don
 		}
 		m := comm.Message[K]{
 			Kind:   comm.Kind(hdr[0]),
-			Src:    int(int32(binary.LittleEndian.Uint32(hdr[1:]))),
-			SortID: int32(binary.LittleEndian.Uint32(hdr[5:])),
+			Flags:  hdr[1],
+			Src:    int(int32(binary.LittleEndian.Uint32(hdr[2:]))),
+			SortID: int32(binary.LittleEndian.Uint32(hdr[6:])),
 			Dst:    dst,
 		}
-		nEntries := int(int32(binary.LittleEndian.Uint32(hdr[9:])))
-		nKeys := int(int32(binary.LittleEndian.Uint32(hdr[13:])))
-		nInts := int(int32(binary.LittleEndian.Uint32(hdr[17:])))
-		seq := binary.LittleEndian.Uint64(hdr[21:])
+		nEntries := int(int32(binary.LittleEndian.Uint32(hdr[10:])))
+		nKeys := int(int32(binary.LittleEndian.Uint32(hdr[14:])))
+		nInts := int(int32(binary.LittleEndian.Uint32(hdr[18:])))
+		seq := binary.LittleEndian.Uint64(hdr[22:])
 		if nEntries < 0 || nKeys < 0 || nInts < 0 {
 			return // corrupt header; drop the connection
 		}
@@ -737,6 +741,7 @@ func (e *tcpEndpoint[K]) Send(dst int, m comm.Message[K]) error {
 	payload = comm.EncodeInts(payload, m.Ints)
 	f := &frame{
 		kind:     m.Kind,
+		flags:    m.Flags,
 		src:      int32(m.Src),
 		sortID:   m.SortID,
 		nEntries: int32(len(m.Entries)),

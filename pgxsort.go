@@ -14,7 +14,10 @@
 //  4. binary-search range partitioning with the duplicate-splitter
 //     investigator that keeps skewed data balanced
 //  5. asynchronous all-to-all exchange at precomputed offsets
-//  6. parallel balanced merge of the received runs
+//  6. merge of the received runs — streamed into step 5 by default (each
+//     run merges incrementally the moment it finishes arriving, hiding
+//     merge latency behind network time; see Options.Merge), with the
+//     paper's barriered balanced handler as the ablation baseline
 //
 // Every sorted entry carries its origin (processor, index); results
 // support distributed binary search, top-k retrieval and origin lookup;
@@ -71,6 +74,10 @@ type (
 	// (Report.Sched): admission wait, per-stage gate waits, and stage
 	// spans relative to the batch epoch, so dataset overlap is readable.
 	SchedTrace = core.SchedTrace
+	// MergeSpan is one streaming-merge operation in SchedTrace.MergeSpans:
+	// node, wall-clock span relative to the batch epoch, output size, and
+	// whether it ran inside the exchange window (the overlap working).
+	MergeSpan = core.MergeSpan
 	// TransportConfig shapes the TCP transport for real clusters
 	// (Options.TCP): per-node listen/dial addresses, connect timeout,
 	// retry backoff, read/write/ack deadlines, max frame size and the
@@ -94,11 +101,26 @@ type (
 	TopKResult[K cmp.Ordered] = core.TopKResult[K]
 )
 
-// Merge strategies.
+// Merge strategies (Options.Merge). MergeAuto (the default) resolves to
+// the streaming exchange–merge overlap when Procs >= 4 and the runtime
+// has at least two CPUs (GOMAXPROCS >= 2; hiding merge work inside the
+// exchange needs spare hardware parallelism) — each peer's run merges
+// incrementally while the all-to-all exchange is still in flight, hiding
+// step-6 latency behind step-5 network time — and to the paper's
+// barriered balanced handler otherwise. MergeBalanced and MergeKWay are
+// the barriered ablations; the PGXSORT_OVERLAP env var ("on"/"off")
+// overrides MergeAuto's resolution. The strategy a sort actually used is
+// in Report.MergePath, and the merge latency the overlap hid inside the
+// exchange is in Report.MergeOverlapSaved.
 const (
+	MergeAuto     = core.MergeAuto
 	MergeBalanced = core.MergeBalanced
 	MergeKWay     = core.MergeKWay
+	MergeOverlap  = core.MergeOverlap
 )
+
+// ParseOverlapFlag parses the CLIs' -overlap flag: "auto", "on" or "off".
+func ParseOverlapFlag(s string) (MergeStrategy, error) { return core.ParseOverlapFlag(s) }
 
 // Local sort paths (Options.LocalSort). LocalSortAuto (the default)
 // takes the non-comparison radix fast path whenever the key type — or
