@@ -534,3 +534,77 @@ func BenchmarkSortManyAlloc(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkStringSort times the variable-width string pipeline: the
+// length-prefixed codec, the 8-byte-prefix radix norm, and (in the
+// "prefixed" variants) the comparison fallback over prefix-equal runs.
+func BenchmarkStringSort(b *testing.B) {
+	for _, prefix := range []struct{ name, p string }{
+		{"short-keys", ""},
+		{"prefixed", "a-shared-prefix-way-past-the-norm/"},
+	} {
+		b.Run(prefix.name, func(b *testing.B) {
+			parts := make([][]string, benchProcs)
+			bytesPerRun := int64(0)
+			for i := range parts {
+				parts[i] = dist.Gen{Kind: dist.RightSkewed, Seed: uint64(7919*i + 1), Domain: 64}.
+					Strings(benchN/benchProcs, prefix.p)
+				for _, k := range parts[i] {
+					bytesPerRun += int64(len(k))
+				}
+			}
+			eng, err := core.NewEngine[string](
+				core.Options{Procs: benchProcs, WorkersPerProc: benchWkrs}, comm.StringCodec{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			b.SetBytes(bytesPerRun)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Sort(parts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 && res.Report.LocalSortPath != "radix" {
+					b.Fatalf("string sort took the %s path", res.Report.LocalSortPath)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecordSort times key+payload sorts across payload sizes: 0 B
+// (the record codec's overhead floor), 16 B (a compact row) and 256 B
+// (a wide row dominating the exchange volume).
+func BenchmarkRecordSort(b *testing.B) {
+	for _, payload := range []int{0, 16, 256} {
+		b.Run(fmt.Sprintf("payload-%dB", payload), func(b *testing.B) {
+			per := benchN / benchProcs
+			recs := make([][]comm.Record[uint64], benchProcs)
+			for i := range recs {
+				keys := dist.Gen{Kind: dist.Uniform, Seed: uint64(7919*i + 1)}.Keys(per)
+				pays := dist.Gen{Seed: uint64(i + 1)}.Payloads(per, payload)
+				part := make([]comm.Record[uint64], per)
+				for j := range part {
+					part[j] = comm.Record[uint64]{Key: keys[j], Payload: pays[j]}
+				}
+				recs[i] = part
+			}
+			eng, err := core.NewEngine[uint64](
+				core.Options{Procs: benchProcs, WorkersPerProc: benchWkrs},
+				comm.NewRecordCodec[uint64](comm.U64Codec{}))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			b.SetBytes(int64(benchN) * int64(8+payload))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.SortRecords(recs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

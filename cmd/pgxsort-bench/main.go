@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"pgxsort/internal/core"
+	"pgxsort/internal/dist"
 	"pgxsort/internal/harness"
 	tp "pgxsort/internal/transport"
 )
@@ -41,6 +42,8 @@ func main() {
 		inflight  = flag.Int("inflight", 0, "SortMany scheduler admission cap for the pipeline sweep (0 = default)")
 		localSort = flag.String("localsort", "auto", "step-1 path for all experiments: auto, comparison or radix")
 		overlap   = flag.String("overlap", "auto", "exchange–merge overlap for experiments that do not sweep it: auto, on, or off")
+		keytype   = flag.String("keytype", "", "restrict the keytypes experiment to one key domain: uint64, float64 or string (empty = sweep all)")
+		recBytes  = flag.Int("recbytes", 0, "payload bytes per key for the keytypes experiment's record points (0 = default sweep)")
 	)
 	flag.Parse()
 
@@ -51,6 +54,15 @@ func main() {
 	mergeMode, err := core.ParseOverlapFlag(*overlap)
 	if err != nil {
 		fatal(err)
+	}
+	var ktype dist.KeyType
+	if *keytype != "" {
+		if ktype, err = dist.ParseKeyType(*keytype); err != nil {
+			fatal(err)
+		}
+	}
+	if *recBytes < 0 {
+		fatal(fmt.Errorf("-recbytes must be >= 0, got %d", *recBytes))
 	}
 
 	if *list {
@@ -77,6 +89,8 @@ func main() {
 		Merge:        mergeMode,
 		ListenAddrs:  tp.SplitAddrs(*listen),
 		PeerAddrs:    tp.SplitAddrs(*peers),
+		KeyType:      ktype,
+		RecBytes:     *recBytes,
 	}
 	if (len(cfg.ListenAddrs) > 0 || len(cfg.PeerAddrs) > 0) && *transport != "tcp" {
 		fatal(fmt.Errorf("-listen/-peers require -transport tcp"))

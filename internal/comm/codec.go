@@ -8,16 +8,53 @@ import (
 	"pgxsort/internal/alloc"
 )
 
-// Codec serializes keys of type K into fixed-width wire form. The TCP
-// transport needs one; the in-process transport moves typed slices and
-// only uses KeySize for traffic accounting.
+// Codec serializes keys of type K into wire form. The TCP transport needs
+// one; the in-process transport moves typed slices and only uses KeySize
+// for sampling/chunking estimates. Fixed-width key types implement just
+// this interface; variable-width types (strings) additionally implement
+// VarCodec, and then KeySize is only a nominal per-key estimate.
 type Codec[K any] interface {
-	// KeySize is the fixed wire size of one key in bytes.
+	// KeySize is the fixed wire size of one key in bytes — or, for a
+	// codec that also implements VarCodec, a nominal per-key estimate
+	// used to size samples and chunk the exchange.
 	KeySize() int
 	// PutKey writes k into b, which has at least KeySize bytes.
 	PutKey(b []byte, k K)
 	// Key reads a key from b, which has at least KeySize bytes.
 	Key(b []byte) K
+}
+
+// VarCodec is the variable-width extension of Codec: keys serialize to
+// KeyBytes(k) bytes (framing included) instead of a fixed KeySize. The
+// encode/decode helpers below prefer this interface whenever the codec
+// implements it; PutKey/Key are then never called.
+type VarCodec[K any] interface {
+	Codec[K]
+	// KeyBytes is the exact wire size of k, any length prefix included.
+	KeyBytes(k K) int
+	// AppendKey appends k's wire form to dst.
+	AppendKey(dst []byte, k K) []byte
+	// ReadKey parses one key and returns the remaining bytes.
+	ReadKey(b []byte) (k K, rest []byte, err error)
+}
+
+// PayloadCarrier marks a codec whose entries serialize an opaque payload
+// after the origin fields (see RecordCodec). Engines sorting records need
+// one, or payloads would silently drop on the TCP transport.
+type PayloadCarrier interface {
+	CarriesPayload() bool
+}
+
+// keyCodecOf unwraps a payload-carrying codec to its key codec and
+// reports whether entry payloads ride the wire.
+func keyCodecOf[K any](c Codec[K]) (Codec[K], bool) {
+	if rc, ok := c.(interface{ KeyCodec() Codec[K] }); ok {
+		if pc, ok := c.(PayloadCarrier); ok && pc.CarriesPayload() {
+			return rc.KeyCodec(), true
+		}
+		return rc.KeyCodec(), false
+	}
+	return c, false
 }
 
 // U64Codec serializes uint64 keys little-endian.
@@ -50,22 +87,124 @@ func (U32Codec) KeySize() int              { return 4 }
 func (U32Codec) PutKey(b []byte, k uint32) { binary.LittleEndian.PutUint32(b, k) }
 func (U32Codec) Key(b []byte) uint32       { return binary.LittleEndian.Uint32(b) }
 
+// EntriesWireBytes returns the exact wire size of entries under codec c:
+// fixed or variable-width keys, plus the origin fields, plus a 4-byte
+// length prefix and the payload bytes per entry when c carries payloads.
+func EntriesWireBytes[K any](entries []Entry[K], c Codec[K]) int {
+	kc, withPay := keyCodecOf(c)
+	total := 0
+	if vc, ok := kc.(VarCodec[K]); ok {
+		for i := range entries {
+			total += vc.KeyBytes(entries[i].Key)
+		}
+	} else {
+		total = len(entries) * kc.KeySize()
+	}
+	total += len(entries) * originBytes
+	if withPay {
+		for i := range entries {
+			total += payloadLenBytes + len(entries[i].Payload)
+		}
+	}
+	return total
+}
+
+// KeysWireBytes returns the exact wire size of bare keys under codec c.
+func KeysWireBytes[K any](keys []K, c Codec[K]) int {
+	kc, _ := keyCodecOf(c)
+	if vc, ok := kc.(VarCodec[K]); ok {
+		total := 0
+		for _, k := range keys {
+			total += vc.KeyBytes(k)
+		}
+		return total
+	}
+	return len(keys) * kc.KeySize()
+}
+
+// EntryWireEstimate returns the average per-entry wire size (origin
+// excluded) over a bounded prefix of entries — the data manager's
+// chunking estimate for variable-width keys and payload-carrying codecs.
+// Fixed-width key-only codecs return KeySize exactly.
+func EntryWireEstimate[K any](entries []Entry[K], c Codec[K]) int {
+	kc, withPay := keyCodecOf(c)
+	vc, isVar := kc.(VarCodec[K])
+	if !isVar && !withPay {
+		return kc.KeySize()
+	}
+	sample := len(entries)
+	if sample > 64 {
+		sample = 64
+	}
+	if sample == 0 {
+		return kc.KeySize()
+	}
+	total := 0
+	for i := 0; i < sample; i++ {
+		if isVar {
+			total += vc.KeyBytes(entries[i].Key)
+		} else {
+			total += kc.KeySize()
+		}
+		if withPay {
+			total += payloadLenBytes + len(entries[i].Payload)
+		}
+	}
+	est := total / sample
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
 // EncodeEntries appends the wire form of entries to dst and returns the
-// extended slice. Layout per entry: key (c.KeySize bytes), proc (uint32),
-// index (uint32). The destination is sized exactly once from
-// len(entries): encoding a message into an empty dst allocates precisely
-// the payload, never grow's doubled capacity.
+// extended slice. Layout per entry: key (fixed KeySize bytes, or the
+// VarCodec framing), proc (uint32), index (uint32), and — when the codec
+// carries payloads — payload length (uint32) followed by the payload
+// bytes. The destination is sized exactly once from EntriesWireBytes:
+// encoding a message into an empty dst allocates precisely the payload,
+// never grow's doubled capacity.
 func EncodeEntries[K any](dst []byte, entries []Entry[K], c Codec[K]) []byte {
-	ks := c.KeySize()
-	need := len(entries) * (ks + originBytes)
+	kc, withPay := keyCodecOf(c)
+	vc, isVar := kc.(VarCodec[K])
+	if !isVar && !withPay {
+		// Fixed-width key-only fast path: one bounds computation, direct
+		// offset writes.
+		ks := kc.KeySize()
+		need := len(entries) * (ks + originBytes)
+		dst = grow(dst, need)
+		off := len(dst) - need
+		for i := range entries {
+			e := &entries[i]
+			kc.PutKey(dst[off:], e.Key)
+			off += ks
+			binary.LittleEndian.PutUint32(dst[off:], e.Proc)
+			binary.LittleEndian.PutUint32(dst[off+4:], e.Index)
+			off += originBytes
+		}
+		return dst
+	}
+	need := EntriesWireBytes(entries, c)
 	dst = grow(dst, need)
-	off := len(dst) - need
-	for _, e := range entries {
-		c.PutKey(dst[off:], e.Key)
-		off += ks
-		binary.LittleEndian.PutUint32(dst[off:], e.Proc)
-		binary.LittleEndian.PutUint32(dst[off+4:], e.Index)
-		off += originBytes
+	dst = dst[:len(dst)-need] // grow reserved capacity; append fills it
+	var tmp [originBytes]byte
+	for i := range entries {
+		e := &entries[i]
+		if isVar {
+			dst = vc.AppendKey(dst, e.Key)
+		} else {
+			off := len(dst)
+			dst = dst[:off+kc.KeySize()]
+			kc.PutKey(dst[off:], e.Key)
+		}
+		binary.LittleEndian.PutUint32(tmp[:], e.Proc)
+		binary.LittleEndian.PutUint32(tmp[4:], e.Index)
+		dst = append(dst, tmp[:]...)
+		if withPay {
+			binary.LittleEndian.PutUint32(tmp[:4], uint32(len(e.Payload)))
+			dst = append(dst, tmp[:4]...)
+			dst = append(dst, e.Payload...)
+		}
 	}
 	return dst
 }
@@ -80,32 +219,106 @@ func DecodeEntries[K any](b []byte, n int, c Codec[K]) ([]Entry[K], []byte, erro
 // (which may be nil). The TCP transport's read loops pass their network's
 // pool so every received chunk reuses a recycled slab; the consumer
 // returns it through Message.Release once the entries are copied out.
+// Decoded payloads never alias b: they are copied into one exactly-sized
+// block per call, since the transport reuses its frame buffer while the
+// decoded entries (and their payloads) outlive it.
 func DecodeEntriesSlab[K any](b []byte, n int, c Codec[K], pool *alloc.SlabPool[Entry[K]]) ([]Entry[K], []byte, error) {
-	ks := c.KeySize()
-	need := n * (ks + originBytes)
-	if len(b) < need {
-		return nil, b, fmt.Errorf("comm: short entry payload: have %d bytes, need %d", len(b), need)
+	kc, withPay := keyCodecOf(c)
+	vc, isVar := kc.(VarCodec[K])
+	if !isVar && !withPay {
+		ks := kc.KeySize()
+		need := n * (ks + originBytes)
+		if len(b) < need {
+			return nil, b, fmt.Errorf("comm: short entry payload: have %d bytes, need %d", len(b), need)
+		}
+		entries := pool.Get(n) // a nil pool falls back to plain allocation
+		off := 0
+		for i := 0; i < n; i++ {
+			entries[i].Key = kc.Key(b[off:])
+			entries[i].Payload = nil
+			off += ks
+			entries[i].Proc = binary.LittleEndian.Uint32(b[off:])
+			entries[i].Index = binary.LittleEndian.Uint32(b[off+4:])
+			off += originBytes
+		}
+		return entries, b[need:], nil
 	}
-	entries := pool.Get(n) // a nil pool falls back to plain allocation
-	off := 0
+	entries := pool.Get(n)
+	rest := b
+	totalPay := 0
 	for i := 0; i < n; i++ {
-		entries[i].Key = c.Key(b[off:])
-		off += ks
-		entries[i].Proc = binary.LittleEndian.Uint32(b[off:])
-		entries[i].Index = binary.LittleEndian.Uint32(b[off+4:])
-		off += originBytes
+		var err error
+		if isVar {
+			entries[i].Key, rest, err = vc.ReadKey(rest)
+			if err != nil {
+				return nil, b, err
+			}
+		} else {
+			if len(rest) < kc.KeySize() {
+				return nil, b, fmt.Errorf("comm: short entry payload at entry %d", i)
+			}
+			entries[i].Key = kc.Key(rest)
+			rest = rest[kc.KeySize():]
+		}
+		if len(rest) < originBytes {
+			return nil, b, fmt.Errorf("comm: short entry origin at entry %d", i)
+		}
+		entries[i].Proc = binary.LittleEndian.Uint32(rest)
+		entries[i].Index = binary.LittleEndian.Uint32(rest[4:])
+		rest = rest[originBytes:]
+		entries[i].Payload = nil
+		if withPay {
+			if len(rest) < payloadLenBytes {
+				return nil, b, fmt.Errorf("comm: short payload length at entry %d", i)
+			}
+			plen := int(binary.LittleEndian.Uint32(rest))
+			rest = rest[payloadLenBytes:]
+			if plen < 0 || len(rest) < plen {
+				return nil, b, fmt.Errorf("comm: short payload at entry %d: have %d bytes, need %d", i, len(rest), plen)
+			}
+			if plen > 0 {
+				// Temporarily alias the frame buffer; the fix-up below
+				// copies every payload into one exactly-sized block.
+				entries[i].Payload = rest[:plen:plen]
+				totalPay += plen
+			}
+			rest = rest[plen:]
+		}
 	}
-	return entries, b[need:], nil
+	if totalPay > 0 {
+		block := make([]byte, totalPay)
+		pos := 0
+		for i := 0; i < n; i++ {
+			p := entries[i].Payload
+			if len(p) == 0 {
+				continue
+			}
+			copy(block[pos:], p)
+			entries[i].Payload = block[pos : pos+len(p) : pos+len(p)]
+			pos += len(p)
+		}
+	}
+	return entries, rest, nil
 }
 
 // EncodeKeys appends the wire form of keys to dst.
 func EncodeKeys[K any](dst []byte, keys []K, c Codec[K]) []byte {
-	ks := c.KeySize()
+	kc, _ := keyCodecOf(c)
+	if vc, ok := kc.(VarCodec[K]); ok {
+		need := KeysWireBytes(keys, c)
+		dst = grow(dst, need)
+		dst = dst[:len(dst)-need]
+		for _, k := range keys {
+			dst = vc.AppendKey(dst, k)
+		}
+		return dst
+	}
+	ks := kc.KeySize()
 	need := len(keys) * ks
 	dst = grow(dst, need)
 	off := len(dst) - need
 	for _, k := range keys {
-		c.PutKey(dst[off:], k)
+		kc.PutKey(dst[off:], k)
 		off += ks
 	}
 	return dst
@@ -113,17 +326,33 @@ func EncodeKeys[K any](dst []byte, keys []K, c Codec[K]) []byte {
 
 // DecodeKeys parses n keys from b and returns the remaining bytes.
 func DecodeKeys[K any](b []byte, n int, c Codec[K]) ([]K, []byte, error) {
-	ks := c.KeySize()
+	kc, _ := keyCodecOf(c)
+	if vc, ok := kc.(VarCodec[K]); ok {
+		keys := make([]K, n)
+		rest := b
+		for i := 0; i < n; i++ {
+			var err error
+			keys[i], rest, err = vc.ReadKey(rest)
+			if err != nil {
+				return nil, b, err
+			}
+		}
+		return keys, rest, nil
+	}
+	ks := kc.KeySize()
 	need := n * ks
 	if len(b) < need {
 		return nil, b, fmt.Errorf("comm: short key payload: have %d bytes, need %d", len(b), need)
 	}
 	keys := make([]K, n)
 	for i := 0; i < n; i++ {
-		keys[i] = c.Key(b[i*ks:])
+		keys[i] = kc.Key(b[i*ks:])
 	}
 	return keys, b[need:], nil
 }
+
+// payloadLenBytes is the wire size of one entry's payload length prefix.
+const payloadLenBytes = 4
 
 // EncodeInts appends int64 metadata values to dst.
 func EncodeInts(dst []byte, ints []int64) []byte {

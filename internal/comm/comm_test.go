@@ -17,19 +17,19 @@ func TestKindString(t *testing.T) {
 	}
 }
 
-func TestLogicalBytes(t *testing.T) {
+func TestWireBytes(t *testing.T) {
 	m := Message[uint64]{
 		Entries: make([]Entry[uint64], 3),
 		Keys:    make([]uint64, 2),
 		Ints:    make([]int64, 5),
 	}
 	// 3*(8+8) + 2*8 + 5*8 = 48 + 16 + 40 = 104.
-	if got := m.LogicalBytes(8); got != 104 {
-		t.Fatalf("LogicalBytes = %d, want 104", got)
+	if got := m.WireBytes(U64Codec{}); got != 104 {
+		t.Fatalf("WireBytes = %d, want 104", got)
 	}
 	empty := Message[uint64]{}
-	if got := empty.LogicalBytes(8); got != 0 {
-		t.Fatalf("empty LogicalBytes = %d", got)
+	if got := empty.WireBytes(U64Codec{}); got != 0 {
+		t.Fatalf("empty WireBytes = %d", got)
 	}
 }
 
@@ -48,7 +48,7 @@ func TestEntryRoundTrip(t *testing.T) {
 		t.Fatalf("decode: %v, %d leftover", err, len(rest))
 	}
 	for i := range in {
-		if out[i] != in[i] {
+		if out[i].Key != in[i].Key || out[i].Proc != in[i].Proc || out[i].Index != in[i].Index {
 			t.Fatalf("entry %d: %+v != %+v", i, out[i], in[i])
 		}
 	}
@@ -159,7 +159,7 @@ func TestMixedPayloadSequentialDecode(t *testing.T) {
 	buf = EncodeInts(buf, ints)
 
 	e, rest, err := DecodeEntries(buf, 1, U64Codec{})
-	if err != nil || e[0] != entries[0] {
+	if err != nil || e[0].Key != 1 || e[0].Proc != 2 || e[0].Index != 3 {
 		t.Fatal("entries leg failed")
 	}
 	k, rest, err := DecodeKeys(rest, 2, U64Codec{})
@@ -185,7 +185,7 @@ func TestPropertyEntriesRoundTrip(t *testing.T) {
 			return false
 		}
 		for i := range in {
-			if out[i] != in[i] {
+			if out[i].Key != in[i].Key || out[i].Proc != in[i].Proc || out[i].Index != in[i].Index {
 				return false
 			}
 		}

@@ -61,7 +61,7 @@ func TestDecodeEntriesSlabReuses(t *testing.T) {
 		t.Fatal("decode did not reuse the pooled slab")
 	}
 	for i := range entries {
-		if got[i] != entries[i] {
+		if got[i].Key != entries[i].Key || got[i].Proc != entries[i].Proc || got[i].Index != entries[i].Index {
 			t.Fatalf("entry %d mismatch: %v vs %v", i, got[i], entries[i])
 		}
 	}

@@ -21,6 +21,17 @@ type KeyNormalizer[K any] interface {
 	NormBits() int
 }
 
+// InexactNormalizer marks a KeyNormalizer whose Norm is monotone but not
+// injective: a < b implies Norm(a) <= Norm(b), and equal norms do NOT
+// imply equal keys (e.g. StringCodec's 8-byte prefix). The engine still
+// runs the radix fast path over such norms, but switches every comparator
+// to a two-level compare (norm first, real key order on ties) and runs a
+// comparison fallback pass over equal-norm runs after each radix sort.
+type InexactNormalizer interface {
+	// NormInexact reports that equal norms may hide unequal keys.
+	NormInexact() bool
+}
+
 // Norm for uint64 keys is the identity.
 func (U64Codec) Norm(k uint64) uint64 { return k }
 

@@ -51,10 +51,25 @@ func (k Kind) String() string {
 // exposes exactly this provenance: "finding information regards to the
 // previous processors and the previous indexes of the new received data
 // entry" (§IV-C).
+//
+// Payload is an opaque value riding with the key — nil for plain key
+// sorts, the record body for SortRecords. It never influences the sort
+// order; it travels by reference on the in-process transport and is
+// serialized length-prefixed on TCP when the engine's codec carries
+// payloads (see RecordCodec).
 type Entry[K any] struct {
-	Key   K
-	Proc  uint32 // originating processor
-	Index uint32 // index within the originating processor's input
+	Key     K
+	Payload []byte // opaque record body; nil for key-only sorts
+	Proc    uint32 // originating processor
+	Index   uint32 // index within the originating processor's input
+}
+
+// Record is one key+payload input row for the record-sorting APIs. The
+// engine sorts records by key exactly as it sorts bare keys — the payload
+// is carried through local sort, exchange assembly and merge untouched.
+type Record[K any] struct {
+	Key     K
+	Payload []byte
 }
 
 // Message flags: pipeline signals that ride the existing framing (one
@@ -92,12 +107,14 @@ type Message[K any] struct {
 	Release func()
 }
 
-// LogicalBytes returns the payload size used for traffic accounting. It is
+// WireBytes returns the message's exact wire size under codec c, used
+// both to size TCP frames and for traffic accounting. It is
 // transport-independent: the in-process transport moves slices without
 // serializing, but for Figure 9 both transports must report identical
-// traffic for identical workloads.
-func (m *Message[K]) LogicalBytes(keySize int) int {
-	return len(m.Entries)*(keySize+originBytes) + len(m.Keys)*keySize + len(m.Ints)*8
+// traffic for identical workloads — variable-width keys and record
+// payloads included.
+func (m *Message[K]) WireBytes(c Codec[K]) int {
+	return EntriesWireBytes(m.Entries, c) + KeysWireBytes(m.Keys, c) + len(m.Ints)*8
 }
 
 // originBytes is the wire size of an Entry's provenance (proc + index).

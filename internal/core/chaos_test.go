@@ -68,9 +68,9 @@ func TestSortSurvivesConnectionResets(t *testing.T) {
 						i, len(got.Parts[i]), len(want.Parts[i]))
 				}
 				for j := range got.Parts[i] {
-					if got.Parts[i][j] != want.Parts[i][j] {
-						t.Fatalf("node %d entry %d: chaos %+v != chan %+v",
-							i, j, got.Parts[i][j], want.Parts[i][j])
+					g, w := got.Parts[i][j], want.Parts[i][j]
+					if g.Key != w.Key || g.Proc != w.Proc || g.Index != w.Index {
+						t.Fatalf("node %d entry %d: chaos %+v != chan %+v", i, j, g, w)
 					}
 				}
 			}

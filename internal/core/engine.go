@@ -30,9 +30,14 @@ type Engine[K cmp.Ordered] struct {
 
 	// norm is the order-preserving uint64 normalization of K (nil when K
 	// has none); normBits its significant width. A non-nil norm opens the
-	// radix local-sort fast path (Options.LocalSort).
-	norm     func(K) uint64
-	normBits int
+	// radix local-sort fast path (Options.LocalSort). normInexact marks a
+	// monotone but non-injective norm (comm.InexactNormalizer): the radix
+	// path stays open, but every comparator becomes a two-level compare
+	// and each radix sort is finished by a comparison pass over equal-norm
+	// runs.
+	norm        func(K) uint64
+	normBits    int
+	normInexact bool
 }
 
 // node is one simulated processor: an endpoint on the network, a worker
@@ -83,9 +88,18 @@ func NewEngine[K cmp.Ordered](opts Options, codec comm.Codec[K]) (*Engine[K], er
 	e := &Engine[K]{opts: opts, codec: codec, net: net}
 	// A codec advertising its own normalization (comm.KeyNormalizer)
 	// takes precedence over the built-in per-type table, so custom key
-	// types can opt into the radix path.
-	if kn, ok := codec.(comm.KeyNormalizer[K]); ok {
+	// types can opt into the radix path. A payload-carrying wrapper
+	// (comm.RecordCodec) is unwrapped first: the key codec decides the
+	// normalization.
+	kc := codec
+	if u, ok := codec.(interface{ KeyCodec() comm.Codec[K] }); ok {
+		kc = u.KeyCodec()
+	}
+	if kn, ok := kc.(comm.KeyNormalizer[K]); ok {
 		e.norm, e.normBits = kn.Norm, kn.NormBits()
+		if ix, ok := kc.(comm.InexactNormalizer); ok && ix.NormInexact() {
+			e.normInexact = true
+		}
 	} else if norm, bits, ok := comm.NormFor[K](); ok {
 		e.norm, e.normBits = norm, bits
 	}
@@ -196,17 +210,64 @@ func (n *node[K]) dropSort(sortID int32) {
 	}
 }
 
-// checkParts validates the shape of one distributed dataset.
-func (e *Engine[K]) checkParts(parts [][]K) error {
-	if len(parts) != e.opts.Procs {
-		return fmt.Errorf("core: got %d parts for %d processors", len(parts), e.opts.Procs)
+// job is one dataset in engine-internal form: exactly one of parts (bare
+// keys) or recs (key+payload records) is set. Threading jobs instead of
+// [][]K through sortOne and the scheduler lets record datasets ride the
+// same staged pipeline as key datasets.
+type job[K cmp.Ordered] struct {
+	parts [][]K
+	recs  [][]comm.Record[K]
+}
+
+func (j job[K]) nparts() int {
+	if j.recs != nil {
+		return len(j.recs)
 	}
-	for _, part := range parts {
-		if len(part) > 1<<31-1 {
-			return fmt.Errorf("core: local part of %d entries exceeds the 2^31-1 origin-index limit", len(part))
+	return len(j.parts)
+}
+
+func (j job[K]) partLen(i int) int {
+	if j.recs != nil {
+		return len(j.recs[i])
+	}
+	return len(j.parts[i])
+}
+
+func (j job[K]) size() int {
+	n := 0
+	for i := 0; i < j.nparts(); i++ {
+		n += j.partLen(i)
+	}
+	return n
+}
+
+// checkJob validates the shape of one distributed dataset.
+func (e *Engine[K]) checkJob(j job[K]) error {
+	if j.nparts() != e.opts.Procs {
+		return fmt.Errorf("core: got %d parts for %d processors", j.nparts(), e.opts.Procs)
+	}
+	for i := 0; i < j.nparts(); i++ {
+		if j.partLen(i) > 1<<31-1 {
+			return fmt.Errorf("core: local part of %d entries exceeds the 2^31-1 origin-index limit", j.partLen(i))
 		}
 	}
 	return nil
+}
+
+// checkParts validates the shape of one distributed key dataset.
+func (e *Engine[K]) checkParts(parts [][]K) error {
+	return e.checkJob(job[K]{parts: parts})
+}
+
+// checkRecordCodec gates the record-sorting APIs: without a
+// payload-carrying codec (comm.NewRecordCodec) the TCP transport would
+// silently drop payloads mid-exchange, and the two transports would
+// account different traffic for the same workload.
+func (e *Engine[K]) checkRecordCodec() error {
+	if pc, ok := e.codec.(comm.PayloadCarrier); ok && pc.CarriesPayload() {
+		return nil
+	}
+	return fmt.Errorf("core: record sorts need a payload-carrying codec (comm.NewRecordCodec); engine has %T", e.codec)
 }
 
 // Sort sorts a dataset that is already distributed: parts[i] is processor
@@ -224,7 +285,28 @@ func (e *Engine[K]) SortCtx(ctx context.Context, parts [][]K) (*Result[K], error
 	if err := e.checkParts(parts); err != nil {
 		return nil, err
 	}
-	return e.sortOne(ctx, parts, nil)
+	return e.sortOne(ctx, job[K]{parts: parts}, nil)
+}
+
+// SortRecords sorts a distributed dataset of key+payload records:
+// recs[i] is processor i's local input. Payloads are opaque — they never
+// influence the order — and travel with their keys through the whole
+// pipeline, so every entry of the result carries its record body. The
+// engine's codec must carry payloads (comm.NewRecordCodec).
+func (e *Engine[K]) SortRecords(recs [][]comm.Record[K]) (*Result[K], error) {
+	return e.SortRecordsCtx(context.Background(), recs)
+}
+
+// SortRecordsCtx is SortRecords with cancellation.
+func (e *Engine[K]) SortRecordsCtx(ctx context.Context, recs [][]comm.Record[K]) (*Result[K], error) {
+	if err := e.checkRecordCodec(); err != nil {
+		return nil, err
+	}
+	j := job[K]{recs: recs}
+	if err := e.checkJob(j); err != nil {
+		return nil, err
+	}
+	return e.sortOne(ctx, j, nil)
 }
 
 // SortSlice block-distributes one slice across the processors and sorts it.
@@ -255,10 +337,25 @@ func (e *Engine[K]) SortManyWith(ctx context.Context, opts SortManyOpts, dataset
 	return NewScheduler(e, opts).Run(ctx, datasets)
 }
 
+// SortManyRecords pipelines several record datasets through the scheduler,
+// exactly as SortMany does for key datasets.
+func (e *Engine[K]) SortManyRecords(datasets ...[][]comm.Record[K]) ([]*Result[K], error) {
+	return e.SortManyRecordsWith(context.Background(), SortManyOpts{}, datasets...)
+}
+
+// SortManyRecordsWith is SortManyRecords with cancellation and explicit
+// scheduling knobs.
+func (e *Engine[K]) SortManyRecordsWith(ctx context.Context, opts SortManyOpts, datasets ...[][]comm.Record[K]) ([]*Result[K], error) {
+	if err := e.checkRecordCodec(); err != nil {
+		return nil, err
+	}
+	return NewScheduler(e, opts).RunRecords(ctx, datasets)
+}
+
 // sortOne runs the staged pipeline on every node for one dataset. ctrl is
 // non-nil only under the SortMany scheduler; ctx cancellation tears down
 // this sort's mailboxes without touching other sorts on the engine.
-func (e *Engine[K]) sortOne(ctx context.Context, parts [][]K, ctrl *stageCtrl) (*Result[K], error) {
+func (e *Engine[K]) sortOne(ctx context.Context, j job[K], ctrl *stageCtrl) (*Result[K], error) {
 	sortID := e.nextSortID.Add(1)
 	p := e.opts.Procs
 
@@ -305,10 +402,14 @@ func (e *Engine[K]) sortOne(ctx context.Context, parts [][]K, ctrl *stageCtrl) (
 				sortID: sortID,
 				opts:   e.opts,
 				codec:  e.codec,
-				input:  parts[i],
 				ctx:    ctx,
 				ctrl:   ctrl,
 				cmps:   cmps,
+			}
+			if j.recs != nil {
+				s.inputRec = j.recs[i]
+			} else {
+				s.input = j.parts[i]
 			}
 			runs[i] = s
 			outs[i].entries, outs[i].err = s.run()
@@ -342,7 +443,7 @@ func (e *Engine[K]) sortOne(ctx context.Context, parts [][]K, ctrl *stageCtrl) (
 	for i, o := range outs {
 		nr := o.report
 		rep.PerNode[i] = nr
-		rep.N += len(parts[i])
+		rep.N += j.partLen(i)
 		for s := Step(0); s < NumSteps; s++ {
 			if nr.Steps[s] > rep.Steps[s] {
 				rep.Steps[s] = nr.Steps[s]

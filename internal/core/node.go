@@ -21,11 +21,14 @@ type sortRun[K cmp.Ordered] struct {
 	sortID int32
 	opts   Options
 	codec  comm.Codec[K]
-	input  []K
-	ctx    context.Context // nil means uncancellable
-	ctrl   *stageCtrl      // nil outside the SortMany scheduler
-	cmps   sortCmps[K]
-	report NodeReport
+	// Exactly one of input (bare keys) and inputRec (key+payload records)
+	// is set; they differ only in how localSort builds the entry buffer.
+	input    []K
+	inputRec []comm.Record[K]
+	ctx      context.Context // nil means uncancellable
+	ctrl     *stageCtrl      // nil outside the SortMany scheduler
+	cmps     sortCmps[K]
+	report   NodeReport
 
 	// Traffic counters are atomics, not a mutex: sends to different
 	// destinations run concurrently on the worker pool, and the exchange
@@ -62,8 +65,13 @@ func entryLess[K cmp.Ordered](a, b comm.Entry[K]) bool { return a.Key < b.Key }
 // pipeline produces one consistent total order — for float64 that is the
 // IEEE-754 total order, which pins the NaN positions `<` cannot order.
 type sortCmps[K cmp.Ordered] struct {
-	path      string // "radix" or "comparison"
-	useRadix  bool
+	path     string // "radix" or "comparison"
+	useRadix bool
+	// fallback marks an inexact norm (monotone, non-injective): the radix
+	// sort leaves equal-norm runs unordered, so localSort finishes with a
+	// comparison pass over them (lsort.SortEqualNormRuns) and every
+	// comparator below is two-level (norm first, real key order on ties).
+	fallback  bool
 	norm      func(K) uint64
 	normBits  int
 	entryLess func(a, b comm.Entry[K]) bool
@@ -83,7 +91,54 @@ type sortCmps[K cmp.Ordered] struct {
 func (e *Engine[K]) comparators() sortCmps[K] {
 	c := sortCmps[K]{norm: e.norm, normBits: e.normBits}
 	c.useRadix = e.norm != nil && e.opts.LocalSort != LocalSortComparison
-	if c.useRadix {
+	if c.useRadix && e.normInexact {
+		// Inexact norm (e.g. StringCodec's 8-byte prefix): the norm is a
+		// cheap first discriminator, but equal norms can hide unequal keys,
+		// so every comparator falls through to the real key order. The
+		// radix passes still do the bulk of the work; SortEqualNormRuns
+		// finishes the collided runs (see localSort).
+		c.path = "radix"
+		c.fallback = true
+		norm := e.norm
+		c.entryLess = func(a, b comm.Entry[K]) bool {
+			na, nb := norm(a.Key), norm(b.Key)
+			if na != nb {
+				return na < nb
+			}
+			return a.Key < b.Key
+		}
+		c.keyLess = func(a, b K) bool {
+			na, nb := norm(a), norm(b)
+			if na != nb {
+				return na < nb
+			}
+			return a < b
+		}
+		c.keyAbove = func(en comm.Entry[K], sp K) bool {
+			na, nb := norm(en.Key), norm(sp)
+			if na != nb {
+				return na > nb
+			}
+			return en.Key > sp
+		}
+		c.keyBelow = func(en comm.Entry[K], sp K) bool {
+			na, nb := norm(en.Key), norm(sp)
+			if na != nb {
+				return na < nb
+			}
+			return en.Key < sp
+		}
+		c.tieLess = func(a, b comm.Entry[K]) bool {
+			na, nb := norm(a.Key), norm(b.Key)
+			if na != nb {
+				return na < nb
+			}
+			if a.Key != b.Key {
+				return a.Key < b.Key
+			}
+			return a.Proc < b.Proc
+		}
+	} else if c.useRadix {
 		c.path = "radix"
 		norm := e.norm
 		c.entryLess = func(a, b comm.Entry[K]) bool { return norm(a.Key) < norm(b.Key) }
@@ -178,7 +233,7 @@ func (s *sortRun[K]) send(dst int, m comm.Message[K]) error {
 	if err := s.node.ep.Send(dst, m); err != nil {
 		return err
 	}
-	bytes := int64(m.LogicalBytes(s.codec.KeySize()))
+	bytes := int64(m.WireBytes(s.codec))
 	s.bytesSent.Add(bytes)
 	s.msgsSent.Add(1)
 	switch m.Kind {
@@ -315,9 +370,17 @@ func (s *sortRun[K]) discardMerge(asm *datamgr.Assembly[K], ov *overlapMerger[K]
 func (s *sortRun[K]) localSort() []comm.Entry[K] {
 	n := s.node
 	t0 := time.Now()
-	entries := n.entryPool.Get(len(s.input))
-	for i, k := range s.input {
-		entries[i] = comm.Entry[K]{Key: k, Proc: uint32(n.id), Index: uint32(i)}
+	var entries []comm.Entry[K]
+	if s.inputRec != nil {
+		entries = n.entryPool.Get(len(s.inputRec))
+		for i, r := range s.inputRec {
+			entries[i] = comm.Entry[K]{Key: r.Key, Payload: r.Payload, Proc: uint32(n.id), Index: uint32(i)}
+		}
+	} else {
+		entries = n.entryPool.Get(len(s.input))
+		for i, k := range s.input {
+			entries[i] = comm.Entry[K]{Key: k, Proc: uint32(n.id), Index: uint32(i)}
+		}
 	}
 	s.retire(entries)
 	eb := int64(entryBytes[K]())
@@ -333,6 +396,13 @@ func (s *sortRun[K]) localSort() []comm.Entry[K] {
 				lsort.ParallelRadixSort(entries, scratch,
 					func(e comm.Entry[K]) uint64 { return norm(e.Key) },
 					s.cmps.normBits, s.cmps.entryLess, workers)
+				if s.cmps.fallback {
+					// Inexact norm: the radix passes ordered by norm only;
+					// finish the equal-norm runs under the real comparison.
+					lsort.SortEqualNormRuns(entries,
+						func(e comm.Entry[K]) uint64 { return norm(e.Key) },
+						s.cmps.entryLess)
+				}
 			} else {
 				lsort.ParallelSortScratch(entries, scratch, s.cmps.entryLess, workers)
 			}
@@ -503,8 +573,12 @@ func (s *sortRun[K]) partitionExchange(entries []comm.Entry[K], splitters []K) (
 			}
 			dst := dst
 			dlo, dhi := ranges.Range(dst)
+			// Chunk by measured wire size, not the nominal KeySize: with
+			// variable-width keys or payloads the estimate keeps chunks
+			// near the buffer budget instead of overshooting it.
+			estBytes := comm.EntryWireEstimate(entries[dlo:dhi], s.codec)
 			tasks = append(tasks, func() {
-				errs[dst] = datamgr.Chunks(n.dm, entries[dlo:dhi], s.codec.KeySize(),
+				errs[dst] = datamgr.Chunks(n.dm, entries[dlo:dhi], estBytes,
 					func(chunk []comm.Entry[K], last bool) error {
 						m := comm.Message[K]{Kind: comm.KData, Entries: chunk}
 						if last {

@@ -39,6 +39,19 @@ func (r *Result[K]) Keys() []K {
 	return out
 }
 
+// Records flattens the sorted dataset into key+payload records (intended
+// for small results and tests; it allocates Len() records). Payloads are
+// the ones carried by each entry, nil for key-only sorts.
+func (r *Result[K]) Records() []comm.Record[K] {
+	out := make([]comm.Record[K], 0, r.Len())
+	for _, p := range r.Parts {
+		for _, e := range p {
+			out = append(out, comm.Record[K]{Key: e.Key, Payload: e.Payload})
+		}
+	}
+	return out
+}
+
 // At returns the entry at global index i.
 func (r *Result[K]) At(i int) (comm.Entry[K], error) {
 	if i < 0 {

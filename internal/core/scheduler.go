@@ -8,6 +8,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"pgxsort/internal/comm"
 )
 
 // DefaultMaxInflight is how many datasets the scheduler admits at once
@@ -116,38 +118,53 @@ func (s *Scheduler[K]) noteAdmit(delta int) {
 	s.mu.Unlock()
 }
 
-// admitOrder returns dataset indices in admission order.
-func (s *Scheduler[K]) admitOrder(datasets [][][]K) []int {
-	order := make([]int, len(datasets))
+// admitOrder returns job indices in admission order.
+func (s *Scheduler[K]) admitOrder(jobs []job[K]) []int {
+	order := make([]int, len(jobs))
 	for i := range order {
 		order[i] = i
 	}
 	if s.opts.Order == OrderSmallestFirst {
-		size := func(ds [][]K) int {
-			n := 0
-			for _, part := range ds {
-				n += len(part)
-			}
-			return n
-		}
 		sort.SliceStable(order, func(a, b int) bool {
-			return size(datasets[order[a]]) < size(datasets[order[b]])
+			return jobs[order[a]].size() < jobs[order[b]].size()
 		})
 	}
 	return order
 }
 
-// Run sorts every dataset, returning results indexed by input position.
-// Failed datasets leave a nil slot and their errors — wrapped with the
-// dataset index — are joined into the returned error, so one failure
-// neither hides the others nor discards the sorts that succeeded.
+// Run sorts every key dataset, returning results indexed by input
+// position. Failed datasets leave a nil slot and their errors — wrapped
+// with the dataset index — are joined into the returned error, so one
+// failure neither hides the others nor discards the sorts that succeeded.
 // Cancelling ctx cancels admitted sorts and skips unadmitted ones.
 func (s *Scheduler[K]) Run(ctx context.Context, datasets [][][]K) ([]*Result[K], error) {
+	jobs := make([]job[K], len(datasets))
+	for i, ds := range datasets {
+		jobs[i] = job[K]{parts: ds}
+	}
+	return s.runJobs(ctx, jobs)
+}
+
+// RunRecords is Run for key+payload record datasets; the engine's codec
+// must carry payloads (see Engine.SortRecords).
+func (s *Scheduler[K]) RunRecords(ctx context.Context, datasets [][][]comm.Record[K]) ([]*Result[K], error) {
+	if err := s.eng.checkRecordCodec(); err != nil {
+		return nil, err
+	}
+	jobs := make([]job[K], len(datasets))
+	for i, ds := range datasets {
+		jobs[i] = job[K]{recs: ds}
+	}
+	return s.runJobs(ctx, jobs)
+}
+
+// runJobs is the shared scheduling loop behind Run and RunRecords.
+func (s *Scheduler[K]) runJobs(ctx context.Context, jobs []job[K]) ([]*Result[K], error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	results := make([]*Result[K], len(datasets))
-	errs := make([]error, len(datasets))
+	results := make([]*Result[K], len(jobs))
+	errs := make([]error, len(jobs))
 	epoch := time.Now()
 	var wg sync.WaitGroup
 	launch := func(idx int, admitWait time.Duration, gated bool) {
@@ -165,7 +182,7 @@ func (s *Scheduler[K]) Run(ctx context.Context, datasets [][][]K) ([]*Result[K],
 			if gated {
 				ctrl = newStageCtrl(ctx, s.gates, s.eng.opts.Procs, epoch, admitWait)
 			}
-			res, err := s.eng.sortOne(ctx, datasets[idx], ctrl)
+			res, err := s.eng.sortOne(ctx, jobs[idx], ctrl)
 			if err != nil {
 				errs[idx] = fmt.Errorf("dataset %d: %w", idx, err)
 				return
@@ -173,8 +190,8 @@ func (s *Scheduler[K]) Run(ctx context.Context, datasets [][][]K) ([]*Result[K],
 			results[idx] = res
 		}()
 	}
-	for _, idx := range s.admitOrder(datasets) {
-		if err := s.eng.checkParts(datasets[idx]); err != nil {
+	for _, idx := range s.admitOrder(jobs) {
+		if err := s.eng.checkJob(jobs[idx]); err != nil {
 			errs[idx] = fmt.Errorf("dataset %d: %w", idx, err)
 			continue
 		}

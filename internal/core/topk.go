@@ -96,7 +96,7 @@ func (e *Engine[K]) selectK(parts [][]K, k int, worse func(a, b comm.Entry[K]) b
 				return
 			}
 			mu.Lock()
-			bytesSent += int64(m.LogicalBytes(e.codec.KeySize()))
+			bytesSent += int64(m.WireBytes(e.codec))
 			mu.Unlock()
 		}(i)
 	}

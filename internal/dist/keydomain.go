@@ -1,0 +1,126 @@
+package dist
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// KeyType names a key domain the generators can emit. The calibrated
+// distributions always draw in uint64 space (so a given Kind/Seed/Domain
+// has one canonical shape); the other key types are order-preserving
+// images of those draws, which keeps the distribution shape — and the
+// duplicate structure the investigator depends on — identical across key
+// types.
+type KeyType string
+
+const (
+	KeyUint64  KeyType = "uint64"
+	KeyFloat64 KeyType = "float64"
+	KeyString  KeyType = "string"
+)
+
+// KeyTypes lists every supported key domain, in declaration order.
+var KeyTypes = []KeyType{KeyUint64, KeyFloat64, KeyString}
+
+// ParseKeyType maps a key-type name to its KeyType.
+func ParseKeyType(s string) (KeyType, error) {
+	switch KeyType(s) {
+	case KeyUint64, KeyFloat64, KeyString:
+		return KeyType(s), nil
+	}
+	return "", fmt.Errorf("unknown key type %q (want uint64, float64 or string)", s)
+}
+
+// FloatKey maps a uint64 draw onto its order-preserving float64 image:
+// the integer part is the draw itself and the fractional part is a
+// deterministic hash of it, so distinct draws stay distinct and ordered
+// while equal draws (duplicates) stay equal — and the keys are genuine
+// non-integral floats, not uint64s in disguise.
+func FloatKey(u uint64) float64 {
+	// splitmix64 finalizer; the >>11 keeps the fraction exactly
+	// representable (53 bits) and strictly below 1.
+	h := u + 0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return float64(u) + float64(h>>11)/(1<<53)
+}
+
+// StringKey maps a uint64 draw onto its order-preserving string image
+// under domain d: prefix + the draw zero-padded to the domain's decimal
+// width, so lexicographic order over the strings equals numeric order
+// over the draws. A prefix of 8 or more bytes collapses every key onto
+// one radix norm (see comm.StringCodec), which is how callers force the
+// prefix-collision fallback path.
+func StringKey(prefix string, u, d uint64) string {
+	if d == 0 {
+		d = DefaultDomain
+	}
+	width := len(strconv.FormatUint(d-1, 10))
+	return fmt.Sprintf("%s%0*d", prefix, width, u)
+}
+
+// FillFloats overwrites out with the distribution's float64 image.
+func (g Gen) FillFloats(out []float64) {
+	u := make([]uint64, len(out))
+	g.Fill(u)
+	for i, v := range u {
+		out[i] = FloatKey(v)
+	}
+}
+
+// Floats generates n float64 keys.
+func (g Gen) Floats(n int) []float64 {
+	out := make([]float64, n)
+	g.FillFloats(out)
+	return out
+}
+
+// FillStrings overwrites out with the distribution's string image; every
+// key carries the given prefix (possibly empty).
+func (g Gen) FillStrings(out []string, prefix string) {
+	u := make([]uint64, len(out))
+	g.Fill(u)
+	d := g.Domain
+	if d == 0 {
+		d = DefaultDomain
+	}
+	for i, v := range u {
+		out[i] = StringKey(prefix, v, d)
+	}
+}
+
+// Strings generates n string keys with the given prefix.
+func (g Gen) Strings(n int, prefix string) []string {
+	out := make([]string, n)
+	g.FillStrings(out, prefix)
+	return out
+}
+
+// Payloads generates n deterministic opaque record bodies of size bytes
+// each (nil payloads when size is 0). The payload stream is seeded
+// independently of the key stream, so attaching payloads never perturbs
+// the keys a Gen produces.
+func (g Gen) Payloads(n, size int) [][]byte {
+	out := make([][]byte, n)
+	if size <= 0 {
+		return out
+	}
+	rng := NewRNG(g.Seed ^ 0x9a1b2c3d4e5f6071)
+	for i := range out {
+		p := make([]byte, size)
+		for j := 0; j+8 <= size; j += 8 {
+			v := rng.Uint64()
+			for k := 0; k < 8; k++ {
+				p[j+k] = byte(v >> (8 * k))
+			}
+		}
+		for j := size - size%8; j < size; j++ {
+			p[j] = byte(rng.Uint64())
+		}
+		out[i] = p
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package dist
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestParseKeyType(t *testing.T) {
+	for _, kt := range KeyTypes {
+		got, err := ParseKeyType(string(kt))
+		if err != nil || got != kt {
+			t.Fatalf("ParseKeyType(%q) = %v, %v", kt, got, err)
+		}
+	}
+	if _, err := ParseKeyType("int128"); err == nil {
+		t.Fatal("unknown key type accepted")
+	}
+}
+
+// The float64 and string images must preserve the order and the
+// duplicate structure of the uint64 draws exactly: u < v iff image(u) <
+// image(v), and u == v iff image(u) == image(v).
+func TestKeyImagesOrderPreserving(t *testing.T) {
+	g := Gen{Kind: RightSkewed, Seed: 5, Domain: 64}
+	u := g.Keys(5000)
+	f := make([]float64, len(u))
+	s := make([]string, len(u))
+	for i, v := range u {
+		f[i] = FloatKey(v)
+		s[i] = StringKey("px/", v, 64)
+	}
+	for i := 1; i < len(u); i++ {
+		a, b := u[i-1], u[i]
+		switch {
+		case a < b:
+			if !(f[i-1] < f[i]) || !(s[i-1] < s[i]) {
+				t.Fatalf("order not preserved for %d < %d", a, b)
+			}
+		case a > b:
+			if !(f[i-1] > f[i]) || !(s[i-1] > s[i]) {
+				t.Fatalf("order not preserved for %d > %d", a, b)
+			}
+		default:
+			if f[i-1] != f[i] || s[i-1] != s[i] {
+				t.Fatalf("duplicates not preserved for %d", a)
+			}
+		}
+	}
+	if DuplicateRatio(u) == 0 {
+		t.Fatal("test dataset should contain duplicates")
+	}
+}
+
+// Sorting the string image lexicographically must equal sorting the
+// draws numerically (the property the zero-padding establishes).
+func TestStringKeyLexicographicOrder(t *testing.T) {
+	g := Gen{Kind: Uniform, Seed: 9, Domain: 100000}
+	u := g.Keys(2000)
+	s := make([]string, len(u))
+	for i, v := range u {
+		s[i] = StringKey("k-", v, 100000)
+	}
+	sort.Slice(u, func(i, j int) bool { return u[i] < u[j] })
+	sort.Strings(s)
+	for i := range u {
+		if want := StringKey("k-", u[i], 100000); s[i] != want {
+			t.Fatalf("index %d: %q != %q", i, s[i], want)
+		}
+	}
+}
+
+// The typed Fill methods draw from the same stream as Fill, so a Gen's
+// distribution shape is identical in every key domain.
+func TestFillImagesMatchDraws(t *testing.T) {
+	g := Gen{Kind: Normal, Seed: 17}
+	u := g.Keys(500)
+	f := g.Floats(500)
+	s := g.Strings(500, "p")
+	for i := range u {
+		if f[i] != FloatKey(u[i]) {
+			t.Fatalf("float %d diverged from the draw stream", i)
+		}
+		if s[i] != StringKey("p", u[i], DefaultDomain) {
+			t.Fatalf("string %d diverged from the draw stream", i)
+		}
+	}
+}
+
+func TestPayloads(t *testing.T) {
+	g := Gen{Seed: 3}
+	a := g.Payloads(100, 33)
+	b := g.Payloads(100, 33)
+	for i := range a {
+		if len(a[i]) != 33 {
+			t.Fatalf("payload %d has %d bytes", i, len(a[i]))
+		}
+		if string(a[i]) != string(b[i]) {
+			t.Fatalf("payload %d not deterministic", i)
+		}
+	}
+	if string(a[0]) == string(a[1]) {
+		t.Fatal("distinct payloads should differ")
+	}
+	for _, p := range g.Payloads(5, 0) {
+		if p != nil {
+			t.Fatal("size 0 should yield nil payloads")
+		}
+	}
+	// Payloads must not perturb the key stream: keys drawn before and
+	// after attaching payloads are identical.
+	before := g.Keys(10)
+	g.Payloads(100, 16)
+	after := g.Keys(10)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("Payloads perturbed the key stream")
+		}
+	}
+}

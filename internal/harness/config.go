@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"cmp"
 	"fmt"
 	"time"
 
@@ -47,6 +48,13 @@ type Config struct {
 	// error out rather than silently fall back to loopback.
 	ListenAddrs []string
 	PeerAddrs   []string
+	// KeyType restricts the keytypes experiment to one key domain
+	// (empty = sweep uint64, float64 and string). The calibrated
+	// uint64-space experiments ignore it.
+	KeyType dist.KeyType
+	// RecBytes is the payload size the keytypes experiment attaches per
+	// key on its record-path points (0 = the experiment's default sweep).
+	RecBytes int
 }
 
 // WithDefaults fills unset fields.
@@ -125,10 +133,11 @@ func newU64Engine(opts core.Options) (*core.Engine[uint64], error) {
 	return core.NewEngine[uint64](opts, comm.U64Codec{})
 }
 
-// runPGXD sorts parts on a fresh engine and returns the best-of-Reps
-// report. Engines are per-measurement so memory accounting starts clean.
-func (c Config) runPGXD(parts [][]uint64, opts core.Options) (*core.Report, error) {
-	opts.Procs = len(parts)
+// engineOpts resolves the per-measurement engine options from the sweep
+// config: worker/transport/path defaults and the explicit TCP addresses
+// (validated against the point's processor count).
+func (c Config) engineOpts(procs int, opts core.Options) (core.Options, error) {
+	opts.Procs = procs
 	if opts.WorkersPerProc == 0 {
 		opts.WorkersPerProc = c.Workers
 	}
@@ -143,21 +152,56 @@ func (c Config) runPGXD(parts [][]uint64, opts core.Options) (*core.Report, erro
 	}
 	if len(c.ListenAddrs) > 0 || len(c.PeerAddrs) > 0 {
 		if len(c.ListenAddrs) > 0 && len(c.ListenAddrs) != opts.Procs {
-			return nil, fmt.Errorf("harness: %d listen addresses for a %d-processor point", len(c.ListenAddrs), opts.Procs)
+			return opts, fmt.Errorf("harness: %d listen addresses for a %d-processor point", len(c.ListenAddrs), opts.Procs)
 		}
 		if len(c.PeerAddrs) > 0 && len(c.PeerAddrs) != opts.Procs {
-			return nil, fmt.Errorf("harness: %d peer addresses for a %d-processor point", len(c.PeerAddrs), opts.Procs)
+			return opts, fmt.Errorf("harness: %d peer addresses for a %d-processor point", len(c.PeerAddrs), opts.Procs)
 		}
 		opts.TCP.Listen = c.ListenAddrs
 		opts.TCP.Peers = c.PeerAddrs
 	}
+	return opts, nil
+}
+
+// runPGXD sorts parts on a fresh engine and returns the best-of-Reps
+// report. Engines are per-measurement so memory accounting starts clean.
+func (c Config) runPGXD(parts [][]uint64, opts core.Options) (*core.Report, error) {
+	return runKeyed(c, parts, comm.U64Codec{}, nil, opts)
+}
+
+// runKeyed is runPGXD generalized over the key domain: it sorts parts with
+// the given codec on a fresh engine per rep and keeps the fastest report.
+// When payloads is non-nil (indexed like parts), the keys travel as records
+// through a payload-carrying codec instead.
+func runKeyed[K cmp.Ordered](c Config, parts [][]K, codec comm.Codec[K],
+	payloads [][][]byte, opts core.Options) (*core.Report, error) {
+	opts, err := c.engineOpts(len(parts), opts)
+	if err != nil {
+		return nil, err
+	}
+	var recs [][]comm.Record[K]
+	if payloads != nil {
+		codec = comm.NewRecordCodec[K](codec)
+		recs = make([][]comm.Record[K], len(parts))
+		for i, part := range parts {
+			recs[i] = make([]comm.Record[K], len(part))
+			for j, k := range part {
+				recs[i][j] = comm.Record[K]{Key: k, Payload: payloads[i][j]}
+			}
+		}
+	}
 	var best *core.Report
 	for r := 0; r < c.Reps; r++ {
-		eng, err := core.NewEngine[uint64](opts, comm.U64Codec{})
+		eng, err := core.NewEngine[K](opts, codec)
 		if err != nil {
 			return nil, err
 		}
-		res, err := eng.Sort(parts)
+		var res *core.Result[K]
+		if recs != nil {
+			res, err = eng.SortRecords(recs)
+		} else {
+			res, err = eng.Sort(parts)
+		}
 		eng.Close()
 		if err != nil {
 			return nil, err

@@ -31,6 +31,7 @@ var registry = []Experiment{
 	{"localsort", "local-sort paths: comparison vs radix fast path (ISSUE 3)", LocalSortPaths},
 	{"chaos", "TCP transport under injected connection resets (ISSUE 4)", Chaos},
 	{"mergeoverlap", "streaming exchange–merge overlap vs barriered merge (ISSUE 5)", MergeOverlap},
+	{"keytypes", "key domains and record sizes: uint64/float64/string ± payloads (ISSUE 6)", KeyTypesExp},
 	{"ablation-investigator", "investigator on/off (DESIGN.md)", AblationInvestigator},
 	{"ablation-merge", "balanced vs k-way merge (DESIGN.md)", AblationMerge},
 	{"ablation-async", "async vs bulk-synchronous exchange (DESIGN.md)", AblationAsync},

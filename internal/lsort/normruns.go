@@ -1,0 +1,26 @@
+package lsort
+
+// SortEqualNormRuns finishes a radix sort whose key image is monotone but
+// not injective (e.g. an 8-byte string prefix): after the radix passes the
+// data is sorted by norm, but entries sharing a norm value may still be
+// out of order under the real comparison. This pass walks the maximal
+// equal-norm runs and comparison-sorts each one in place with a stable
+// sort, so entries that compare equal under less keep the order the
+// (stable) radix passes left them in — the same within-run determinism an
+// injective norm gets for free.
+//
+// Cost is proportional to the collided fraction: inputs whose norms are
+// all distinct pay one linear scan and no sort.
+func SortEqualNormRuns[E any](s []E, key func(E) uint64, less func(x, y E) bool) {
+	for i := 0; i < len(s); {
+		j := i + 1
+		k := key(s[i])
+		for j < len(s) && key(s[j]) == k {
+			j++
+		}
+		if j-i > 1 {
+			TimSort(s[i:j], less)
+		}
+		i = j
+	}
+}

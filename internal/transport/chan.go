@@ -16,7 +16,7 @@ const inboxDepth = 1024
 // chanNetwork is the in-process, zero-copy transport.
 type chanNetwork[K any] struct {
 	p       int
-	keySize int
+	codec   comm.Codec[K]
 	eps     []*chanEndpoint[K]
 	done    chan struct{}
 	closeMu sync.Once
@@ -30,9 +30,10 @@ type chanEndpoint[K any] struct {
 }
 
 // NewChan builds an in-process network of p endpoints. codec is used only
-// to size keys for traffic accounting.
+// for traffic accounting: nothing is serialized, but both transports must
+// report identical byte counts for identical workloads (Figure 9).
 func NewChan[K any](p int, codec comm.Codec[K]) Network[K] {
-	n := &chanNetwork[K]{p: p, keySize: codec.KeySize(), done: make(chan struct{})}
+	n := &chanNetwork[K]{p: p, codec: codec, done: make(chan struct{})}
 	n.eps = make([]*chanEndpoint[K], p)
 	for i := range n.eps {
 		n.eps[i] = &chanEndpoint[K]{
@@ -66,7 +67,7 @@ func (e *chanEndpoint[K]) Send(dst int, m comm.Message[K]) error {
 	}
 	m.Src = e.id
 	m.Dst = dst
-	bytes := m.LogicalBytes(e.net.keySize)
+	bytes := m.WireBytes(e.net.codec)
 	target := e.net.eps[dst]
 	select {
 	case target.inbox <- m:

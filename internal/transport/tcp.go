@@ -38,15 +38,20 @@ import (
 //	nEntries int32
 //	nKeys    int32
 //	nInts    int32
+//	payload  uint32 (exact payload byte count)
 //	seq      uint64
-const headerBytes = 2 + 4*5 + 8
+//
+// The explicit payload size is what makes variable-width keys and record
+// payloads framable: the receiver can no longer compute the payload size
+// from the counts alone.
+const headerBytes = 2 + 4*6 + 8
 
 // handshake layout (little endian): magic, version, src, dst from the
 // dialer; the acceptor replies with the 8-byte next expected sequence
 // number for the (src -> dst) link, which doubles as a cumulative ack.
 const (
 	hsMagic   = "PGXS"
-	hsVersion = 3 // v3 added the flags byte to the frame header
+	hsVersion = 4 // v4 added the payload-size field to the frame header
 	hsBytes   = 4 + 1 + 4 + 4
 	ackBytes  = 8
 )
@@ -76,7 +81,8 @@ func (f *frame) putHeader(b []byte) {
 	binary.LittleEndian.PutUint32(b[10:], uint32(f.nEntries))
 	binary.LittleEndian.PutUint32(b[14:], uint32(f.nKeys))
 	binary.LittleEndian.PutUint32(b[18:], uint32(f.nInts))
-	binary.LittleEndian.PutUint64(b[22:], f.seq)
+	binary.LittleEndian.PutUint32(b[22:], uint32(len(f.payload)))
+	binary.LittleEndian.PutUint64(b[26:], f.seq)
 }
 
 type tcpNetwork[K any] struct {
@@ -577,7 +583,6 @@ func (n *tcpNetwork[K]) readLoop(conn net.Conn, src, dst int, st *recvState, don
 		close(done)
 	}()
 	r := bufio.NewReaderSize(conn, writeBufBytes)
-	ks := n.codec.KeySize()
 	ep := n.eps[dst]
 	var buf []byte
 	var ack [ackBytes]byte
@@ -597,11 +602,11 @@ func (n *tcpNetwork[K]) readLoop(conn net.Conn, src, dst int, st *recvState, don
 		nEntries := int(int32(binary.LittleEndian.Uint32(hdr[10:])))
 		nKeys := int(int32(binary.LittleEndian.Uint32(hdr[14:])))
 		nInts := int(int32(binary.LittleEndian.Uint32(hdr[18:])))
-		seq := binary.LittleEndian.Uint64(hdr[22:])
+		payload := int(binary.LittleEndian.Uint32(hdr[22:]))
+		seq := binary.LittleEndian.Uint64(hdr[26:])
 		if nEntries < 0 || nKeys < 0 || nInts < 0 {
 			return // corrupt header; drop the connection
 		}
-		payload := nEntries*(ks+8) + nKeys*ks + nInts*8
 		if comm.CheckFrame(payload, n.cfg.MaxFrameBytes) != nil {
 			// Never size an allocation from an oversized header: treat it
 			// as a protocol violation and drop the connection.
@@ -653,12 +658,17 @@ func (n *tcpNetwork[K]) readLoop(conn net.Conn, src, dst int, st *recvState, don
 			}
 		}
 		if nInts > 0 {
-			m.Ints, _, err = comm.DecodeInts(rest, nInts)
+			m.Ints, rest, err = comm.DecodeInts(rest, nInts)
 			if err != nil {
 				return
 			}
 		}
-		ep.stats.CountRecv(m.LogicalBytes(ks))
+		if len(rest) != 0 {
+			// A count/size mismatch is a protocol violation (e.g. a header
+			// whose payload size disagrees with its entry counts).
+			return
+		}
+		ep.stats.CountRecv(payload)
 		select {
 		case ep.inbox <- m:
 		case <-n.down:
@@ -698,8 +708,7 @@ func (e *tcpEndpoint[K]) Send(dst int, m comm.Message[K]) error {
 	if n.closing.Load() {
 		return n.closedErr()
 	}
-	ks := n.codec.KeySize()
-	logical := m.LogicalBytes(ks)
+	logical := m.WireBytes(n.codec)
 	if err := comm.CheckFrame(logical, n.cfg.MaxFrameBytes); err != nil {
 		return err
 	}

@@ -8,6 +8,12 @@ import (
 	"pgxsort/internal/comm"
 )
 
+// entryEq compares entries field-wise (Entry holds a slice, so == is out).
+func entryEq(a, b comm.Entry[uint64]) bool {
+	return a.Key == b.Key && a.Proc == b.Proc && a.Index == b.Index &&
+		string(a.Payload) == string(b.Payload)
+}
+
 // newNets builds one network per implementation for conformance tests.
 func newNets(t *testing.T, p int) map[string]Network[uint64] {
 	t.Helper()
@@ -62,7 +68,7 @@ func TestPointToPoint(t *testing.T) {
 			if got.Src != 0 || got.Dst != 1 || got.Kind != comm.KData || got.SortID != 7 {
 				t.Fatalf("header mismatch: %+v", got)
 			}
-			if len(got.Entries) != 2 || got.Entries[0] != want.Entries[0] || got.Entries[1] != want.Entries[1] {
+			if len(got.Entries) != 2 || !entryEq(got.Entries[0], want.Entries[0]) || !entryEq(got.Entries[1], want.Entries[1]) {
 				t.Fatalf("entries mismatch: %+v", got.Entries)
 			}
 		})

@@ -89,8 +89,13 @@ type (
 	// Engine sorts only accept recoverable plans (no drops/dups).
 	FaultPlan = transport.FaultPlan
 
-	// Entry is a sorted record: key plus origin processor and index.
+	// Entry is a sorted record: key plus origin processor and index (and,
+	// for record sorts, the opaque payload that travelled with the key).
 	Entry[K cmp.Ordered] = comm.Entry[K]
+	// Record is one key+payload input row for the record-sorting APIs
+	// (Cluster.SortRecords / SortManyRecords). The payload is opaque: it
+	// never influences the order and rides with its key end to end.
+	Record[K cmp.Ordered] = comm.Record[K]
 	// Result is a globally sorted distributed dataset.
 	Result[K cmp.Ordered] = core.Result[K]
 	// PartRange describes one processor's key range after sorting.
@@ -172,18 +177,28 @@ const (
 // DefaultMaxInflight is the scheduler's default admission cap.
 const DefaultMaxInflight = core.DefaultMaxInflight
 
-// Built-in key codecs for the TCP transport.
+// Built-in key codecs for the TCP transport. StringCodec is
+// variable-width (length-prefixed) and radix-eligible through its 8-byte
+// prefix normalization; see comm.StringCodec.
 var (
 	Uint64Codec  = comm.U64Codec{}
 	Int64Codec   = comm.I64Codec{}
 	Float64Codec = comm.F64Codec{}
 	Uint32Codec  = comm.U32Codec{}
+	StringCodec  = comm.StringCodec{}
 )
 
+// NewRecordCodec wraps a key codec so entries carry their payloads on the
+// wire — required for SortRecords/SortManyRecords (on every transport, so
+// both transports account identical traffic).
+func NewRecordCodec[K cmp.Ordered](key Codec[K]) Codec[K] {
+	return comm.NewRecordCodec[K](key)
+}
+
 // CodecFor returns the built-in codec for K (uint64, int64, float64,
-// uint32). Other key types need an explicit codec for the TCP transport;
-// on the channel transport any fixed estimate works because nothing is
-// serialized.
+// uint32, string). Other key types need an explicit codec for the TCP
+// transport; on the channel transport any fixed estimate works because
+// nothing is serialized.
 func CodecFor[K cmp.Ordered]() (Codec[K], error) {
 	var k K
 	switch any(k).(type) {
@@ -195,6 +210,8 @@ func CodecFor[K cmp.Ordered]() (Codec[K], error) {
 		return any(comm.F64Codec{}).(Codec[K]), nil
 	case uint32:
 		return any(comm.U32Codec{}).(Codec[K]), nil
+	case string:
+		return any(comm.StringCodec{}).(Codec[K]), nil
 	default:
 		return nil, fmt.Errorf("pgxsort: no built-in codec for %T; provide one with NewClusterWithCodec", k)
 	}
@@ -217,6 +234,17 @@ func NewCluster[K cmp.Ordered](opts Options) (*Cluster[K], error) {
 		return nil, err
 	}
 	return NewClusterWithCodec[K](opts, codec)
+}
+
+// NewRecordCluster builds a cluster for key+payload record sorts: the
+// built-in codec for K wrapped so payloads ride the wire. Use
+// SortRecords/SortManyRecords on the result; plain key sorts work too.
+func NewRecordCluster[K cmp.Ordered](opts Options) (*Cluster[K], error) {
+	codec, err := CodecFor[K]()
+	if err != nil {
+		return nil, err
+	}
+	return NewClusterWithCodec[K](opts, NewRecordCodec[K](codec))
 }
 
 // NewClusterWithCodec builds a cluster with an explicit key codec

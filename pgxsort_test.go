@@ -164,11 +164,11 @@ func TestInt64AndFloat64Keys(t *testing.T) {
 }
 
 func TestCodecForUnsupported(t *testing.T) {
-	if _, err := CodecFor[string](); err == nil {
-		t.Fatal("CodecFor[string] should require an explicit codec")
+	if _, err := CodecFor[int32](); err == nil {
+		t.Fatal("CodecFor[int32] should require an explicit codec")
 	}
-	if _, err := NewCluster[string](Options{Procs: 2}); err == nil {
-		t.Fatal("NewCluster[string] without codec should fail")
+	if _, err := NewCluster[int32](Options{Procs: 2}); err == nil {
+		t.Fatal("NewCluster[int32] without codec should fail")
 	}
 }
 
