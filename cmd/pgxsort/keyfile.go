@@ -1,118 +1,72 @@
 package main
 
 import (
-	"bufio"
-	"encoding/binary"
 	"fmt"
-	"io"
-	"math"
 	"os"
+
+	"pgxsort/internal/keyio"
 )
 
-// Key files come in three formats, selected by -keytype:
+// Key files come in three formats, selected by -keytype — the canonical
+// internal/keyio encodings, shared with the pgxsortd HTTP bodies:
 //
 //	uint64  — little-endian uint64 array (the historical format)
 //	float64 — little-endian IEEE-754 bit arrays, NaN and -0.0 included
 //	string  — length-prefixed records: uint32 LE length, then raw bytes
 //
-// Every format round-trips bit-exactly: a float file with NaN, -0.0 or
-// the infinities reads back with identical bits.
+// Every format round-trips bit-exactly, and because the service encodes
+// through the same package, `pgxsort submit` responses are byte-identical
+// to what `pgxsort sort` writes for the same input.
 
-func writeFloats(path string, keys []float64) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	w := bufio.NewWriterSize(f, 1<<20)
-	var buf [8]byte
-	for _, k := range keys {
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(k))
-		if _, err := w.Write(buf[:]); err != nil {
-			f.Close()
-			return err
-		}
-	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+func writeKeys(path string, keys []uint64) error {
+	return os.WriteFile(path, keyio.EncodeUint64s(keys), 0o644)
 }
 
-func readFloats(path string) ([]float64, error) {
-	u, err := readKeys(path)
+func readKeys(path string) ([]uint64, error) {
+	b, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	keys := make([]float64, len(u))
-	for i, v := range u {
-		keys[i] = math.Float64frombits(v)
+	keys, err := keyio.DecodeUint64s(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return keys, nil
+}
+
+func writeFloats(path string, keys []float64) error {
+	return os.WriteFile(path, keyio.EncodeFloat64s(keys), 0o644)
+}
+
+func readFloats(path string) ([]float64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := keyio.DecodeFloat64s(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return keys, nil
 }
 
 func writeStrings(path string, keys []string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	w := bufio.NewWriterSize(f, 1<<20)
-	var buf [4]byte
-	for _, k := range keys {
-		binary.LittleEndian.PutUint32(buf[:], uint32(len(k)))
-		if _, err := w.Write(buf[:]); err != nil {
-			f.Close()
-			return err
-		}
-		if _, err := w.WriteString(k); err != nil {
-			f.Close()
-			return err
-		}
-	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return os.WriteFile(path, keyio.EncodeStrings(keys), 0o644)
 }
 
 func readStrings(path string) ([]string, error) {
-	f, err := os.Open(path)
+	b, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	r := bufio.NewReaderSize(f, 1<<20)
-	var keys []string
-	var lp [4]byte
-	for {
-		if _, err := io.ReadFull(r, lp[:]); err != nil {
-			if err == io.EOF {
-				return keys, nil
-			}
-			return nil, fmt.Errorf("%s: truncated length prefix: %w", path, err)
-		}
-		n := binary.LittleEndian.Uint32(lp[:])
-		b := make([]byte, n)
-		if _, err := io.ReadFull(r, b); err != nil {
-			return nil, fmt.Errorf("%s: truncated string key: %w", path, err)
-		}
-		keys = append(keys, string(b))
+	keys, err := keyio.DecodeStrings(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-}
-
-// f64Norm is the IEEE-754 total-order transform (see comm.F64Codec.Norm):
-// the order the engine's radix path sorts float keys into, with NaN and
-// -0.0 pinned deterministically.
-func f64Norm(k float64) uint64 {
-	bits := math.Float64bits(k)
-	if bits>>63 == 1 {
-		return ^bits
-	}
-	return bits | (1 << 63)
+	return keys, nil
 }
 
 // f64TotalLess orders floats by the IEEE-754 total order, matching the
-// engine's output order so verify accepts what sort wrote — NaNs included,
-// which `<` cannot order.
-func f64TotalLess(a, b float64) bool { return f64Norm(a) < f64Norm(b) }
+// engine's output order so verify accepts what sort wrote — NaNs
+// included, which `<` cannot order.
+func f64TotalLess(a, b float64) bool { return keyio.F64TotalLess(a, b) }

@@ -7,6 +7,7 @@
 //	pgxsort sort     -in keys.bin -out sorted.bin -procs 8 -workers 4
 //	pgxsort verify   -in sorted.bin
 //	pgxsort describe -in keys.bin
+//	pgxsort submit   -in keys.bin -out sorted.bin -server http://host:7421
 //
 // Every subcommand takes -keytype uint64|float64|string (default uint64).
 // uint64 and float64 files are little-endian 8-byte arrays (float64 as
@@ -16,12 +17,9 @@
 package main
 
 import (
-	"bufio"
 	"cmp"
-	"encoding/binary"
 	"flag"
 	"fmt"
-	"io"
 	"math"
 	"os"
 
@@ -44,6 +42,8 @@ func main() {
 		err = cmdVerify(os.Args[2:])
 	case "describe", "info": // info is the historical name
 		err = cmdDescribe(os.Args[2:])
+	case "submit":
+		err = cmdSubmit(os.Args[2:])
 	default:
 		usage()
 	}
@@ -54,11 +54,12 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: pgxsort <generate|sort|verify|describe> [flags]
+	fmt.Fprintln(os.Stderr, `usage: pgxsort <generate|sort|verify|describe|submit> [flags]
   generate -kind <uniform|normal|right-skewed|exponential|...> -n N [-seed S] [-domain D] [-keytype uint64|float64|string] [-prefix P] -out FILE
   sort     -in FILE -out FILE [-keytype T] [-recbytes N] [-procs P] [-workers W] [-transport chan|tcp] [-listen A1,..,AP] [-peers A1,..,AP] [-sample-factor F] [-no-investigator] [-localsort auto|comparison|radix] [-overlap auto|on|off]
   verify   -in FILE [-keytype T]
-  describe -in FILE [-keytype T]`)
+  describe -in FILE [-keytype T]
+  submit   -in FILE [-out FILE] [-server URL] [-keytype T] [-tenant NAME] [-deadline D] [-topk K [-bottom]] [-rank KEY] [-no-cache]`)
 	os.Exit(2)
 }
 
@@ -391,50 +392,4 @@ func tcpConfig(transport, listen, peers string, procs int) (pgxsort.TransportCon
 		return cfg, fmt.Errorf("-peers names %d addresses for %d processors", len(cfg.Peers), procs)
 	}
 	return cfg, nil
-}
-
-func writeKeys(path string, keys []uint64) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	w := bufio.NewWriterSize(f, 1<<20)
-	var buf [8]byte
-	for _, k := range keys {
-		binary.LittleEndian.PutUint64(buf[:], k)
-		if _, err := w.Write(buf[:]); err != nil {
-			f.Close()
-			return err
-		}
-	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-func readKeys(path string) ([]uint64, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	st, err := f.Stat()
-	if err != nil {
-		return nil, err
-	}
-	if st.Size()%8 != 0 {
-		return nil, fmt.Errorf("%s: size %d is not a multiple of 8", path, st.Size())
-	}
-	keys := make([]uint64, st.Size()/8)
-	r := bufio.NewReaderSize(f, 1<<20)
-	var buf [8]byte
-	for i := range keys {
-		if _, err := io.ReadFull(r, buf[:]); err != nil {
-			return nil, err
-		}
-		keys[i] = binary.LittleEndian.Uint64(buf[:])
-	}
-	return keys, nil
 }

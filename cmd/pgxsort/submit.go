@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"pgxsort/internal/dist"
+)
+
+// cmdSubmit is the pgxsortd client: it ships a key file to a running
+// server and writes the sorted bytes back, or asks the query endpoints
+// (top-k, rank) instead of sorting. Sort submissions use the
+// octet-stream shape of POST /v1/sort — the request body is the key
+// file's bytes verbatim, and the response body is byte-identical to
+// what `pgxsort sort` would have written (see docs/API.md).
+func cmdSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:7421", "pgxsortd base URL")
+	in := fs.String("in", "", "input key file")
+	out := fs.String("out", "", "output file for the sorted keys (sort mode)")
+	keytype := fs.String("keytype", "uint64", "key type: uint64, float64 or string")
+	tenant := fs.String("tenant", "", "tenant name for per-tenant admission")
+	deadline := fs.Duration("deadline", 0, "per-job deadline (0 = server default)")
+	topk := fs.Int("topk", 0, "query the k largest keys instead of sorting")
+	bottom := fs.Bool("bottom", false, "with -topk: the k smallest keys instead")
+	rank := fs.String("rank", "", "query one key's global rank instead of sorting")
+	noCache := fs.Bool("no-cache", false, "bypass the server's result cache")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("submit: -in required")
+	}
+	if *topk > 0 && *rank != "" {
+		return fmt.Errorf("submit: -topk and -rank are mutually exclusive")
+	}
+	kt, err := dist.ParseKeyType(*keytype)
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	raw, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	base := strings.TrimRight(*server, "/")
+	client := &http.Client{}
+	switch {
+	case *topk > 0:
+		return submitQuery(client, base+"/v1/topk", map[string]any{
+			"tenant": *tenant, "key_type": string(kt),
+			"keys_b64": base64.StdEncoding.EncodeToString(raw),
+			"k":        *topk, "bottom": *bottom,
+			"deadline_ms": deadlineMS(*deadline),
+		})
+	case *rank != "":
+		return submitQuery(client, base+"/v1/rank", map[string]any{
+			"tenant": *tenant, "key_type": string(kt),
+			"keys_b64":    base64.StdEncoding.EncodeToString(raw),
+			"key":         *rank,
+			"deadline_ms": deadlineMS(*deadline),
+		})
+	default:
+		if *out == "" {
+			return fmt.Errorf("submit: -out required (or use -topk/-rank)")
+		}
+		return submitSort(client, base, kt, raw, *out, *tenant, *deadline, *noCache)
+	}
+}
+
+func deadlineMS(d time.Duration) int64 { return d.Milliseconds() }
+
+// submitSort POSTs the raw key bytes and writes the sorted bytes out.
+func submitSort(client *http.Client, base string, kt dist.KeyType, raw []byte, out, tenant string, deadline time.Duration, noCache bool) error {
+	url := fmt.Sprintf("%s/v1/sort?key_type=%s", base, kt)
+	if tenant != "" {
+		url += "&tenant=" + tenant
+	}
+	if deadline > 0 {
+		url += fmt.Sprintf("&deadline_ms=%d", deadline.Milliseconds())
+	}
+	if noCache {
+		url += "&no_cache=true"
+	}
+	resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return serverError(resp)
+	}
+	sorted, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("submit: reading response: %w", err)
+	}
+	if err := os.WriteFile(out, sorted, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("job %s: wrote %s sorted keys to %s (cache %s)\n",
+		resp.Header.Get("X-Pgxsortd-Job"), resp.Header.Get("X-Pgxsortd-N"),
+		out, resp.Header.Get("X-Pgxsortd-Cache"))
+	return nil
+}
+
+// submitQuery POSTs a JSON body and pretty-prints the JSON answer.
+func submitQuery(client *http.Client, url string, body map[string]any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return serverError(resp)
+	}
+	var pretty bytes.Buffer
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("submit: reading response: %w", err)
+	}
+	if err := json.Indent(&pretty, raw, "", "  "); err != nil {
+		pretty.Write(raw)
+	}
+	fmt.Println(pretty.String())
+	return nil
+}
+
+// serverError renders a non-200 answer, surfacing the JSON error
+// envelope and the Retry-After hint when present.
+func serverError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var env struct {
+		Error string `json:"error"`
+	}
+	msg := strings.TrimSpace(string(body))
+	if json.Unmarshal(body, &env) == nil && env.Error != "" {
+		msg = env.Error
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		return fmt.Errorf("submit: server answered %s: %s (retry after %ss)", resp.Status, msg, ra)
+	}
+	return fmt.Errorf("submit: server answered %s: %s", resp.Status, msg)
+}

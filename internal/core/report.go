@@ -258,6 +258,18 @@ type Report struct {
 	Sched SchedTrace
 }
 
+// Snapshot returns a deep copy of the report — PerNode and the trace's
+// MergeSpans are the only reference fields — so long-lived aggregators
+// (the pgxsortd metrics and /debug/jobs scrapes) can hold reports without
+// aliasing slices owned by a Result that may still be in a handler's
+// hands.
+func (r *Report) Snapshot() Report {
+	cp := *r
+	cp.PerNode = append([]NodeReport(nil), r.PerNode...)
+	cp.Sched.MergeSpans = append([]MergeSpan(nil), r.Sched.MergeSpans...)
+	return cp
+}
+
 // PartSizes returns the per-processor result sizes (Table II).
 func (r *Report) PartSizes() []int {
 	out := make([]int, len(r.PerNode))

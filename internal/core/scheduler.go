@@ -145,6 +145,42 @@ func (s *Scheduler[K]) Run(ctx context.Context, datasets [][][]K) ([]*Result[K],
 	return s.runJobs(ctx, jobs)
 }
 
+// RunOne admits a single dataset through this scheduler's shared gates —
+// the multi-tenant admission path the pgxsortd service uses: every job
+// submitted over HTTP shares one scheduler per engine, so the inflight
+// cap and the one-dataset-per-communication-stage rule hold across
+// tenants exactly as they do within one SortMany batch.
+func (s *Scheduler[K]) RunOne(ctx context.Context, parts [][]K) (*Result[K], error) {
+	results, err := s.runJobs(ctx, []job[K]{{parts: parts}})
+	return results[0], unwrapSingle(err)
+}
+
+// RunOneRecords is RunOne for one key+payload record dataset.
+func (s *Scheduler[K]) RunOneRecords(ctx context.Context, recs [][]comm.Record[K]) (*Result[K], error) {
+	if err := s.eng.checkRecordCodec(); err != nil {
+		return nil, err
+	}
+	results, err := s.runJobs(ctx, []job[K]{{recs: recs}})
+	return results[0], unwrapSingle(err)
+}
+
+// unwrapSingle strips the "dataset 0:" wrapper runJobs puts on a
+// single-job batch, so RunOne callers see the engine's own error.
+func unwrapSingle(err error) error {
+	j, ok := err.(interface{ Unwrap() []error })
+	if !ok {
+		return err
+	}
+	es := j.Unwrap()
+	if len(es) != 1 {
+		return err
+	}
+	if inner := errors.Unwrap(es[0]); inner != nil {
+		return inner
+	}
+	return es[0]
+}
+
 // RunRecords is Run for key+payload record datasets; the engine's codec
 // must carry payloads (see Engine.SortRecords).
 func (s *Scheduler[K]) RunRecords(ctx context.Context, datasets [][][]comm.Record[K]) ([]*Result[K], error) {

@@ -32,6 +32,7 @@ var registry = []Experiment{
 	{"chaos", "TCP transport under injected connection resets (ISSUE 4)", Chaos},
 	{"mergeoverlap", "streaming exchange–merge overlap vs barriered merge (ISSUE 5)", MergeOverlap},
 	{"keytypes", "key domains and record sizes: uint64/float64/string ± payloads (ISSUE 6)", KeyTypesExp},
+	{"service", "sorting-as-a-service: concurrent clients vs pgxsortd (ISSUE 7)", ServiceExp},
 	{"ablation-investigator", "investigator on/off (DESIGN.md)", AblationInvestigator},
 	{"ablation-merge", "balanced vs k-way merge (DESIGN.md)", AblationMerge},
 	{"ablation-async", "async vs bulk-synchronous exchange (DESIGN.md)", AblationAsync},

@@ -1,0 +1,76 @@
+package keyio
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestUint64RoundTrip(t *testing.T) {
+	keys := []uint64{0, 1, math.MaxUint64, 42, 1 << 53}
+	got, err := DecodeUint64s(EncodeUint64s(keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("got %d keys, want %d", len(got), len(keys))
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("key %d: got %d want %d", i, got[i], keys[i])
+		}
+	}
+	if _, err := DecodeUint64s(make([]byte, 7)); err == nil {
+		t.Error("decoding 7 bytes should fail")
+	}
+}
+
+func TestFloat64RoundTripBitExact(t *testing.T) {
+	keys := []float64{0, math.Copysign(0, -1), math.NaN(), math.Inf(1), math.Inf(-1), -1.5, 3.25}
+	enc := EncodeFloat64s(keys)
+	got, err := DecodeFloat64s(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if math.Float64bits(got[i]) != math.Float64bits(keys[i]) {
+			t.Fatalf("key %d: bits %x != %x", i, math.Float64bits(got[i]), math.Float64bits(keys[i]))
+		}
+	}
+	// -0.0 sorts strictly below +0.0 and NaN above +Inf in total order.
+	if !F64TotalLess(math.Copysign(0, -1), 0) {
+		t.Error("-0.0 should order below +0.0")
+	}
+	if !F64TotalLess(math.Inf(1), math.NaN()) {
+		t.Error("+Inf should order below +NaN")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	keys := []string{"", "a", "héllo", "with\x00nul", string(bytes.Repeat([]byte{0xff}, 300))}
+	got, err := DecodeStrings(EncodeStrings(keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("got %d keys, want %d", len(got), len(keys))
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("key %d mismatch", i)
+		}
+	}
+	if got, err := DecodeStrings(nil); err != nil || len(got) != 0 {
+		t.Errorf("empty input: got %v, %v", got, err)
+	}
+}
+
+func TestStringDecodeTruncation(t *testing.T) {
+	enc := EncodeStrings([]string{"hello"})
+	if _, err := DecodeStrings(enc[:3]); err == nil {
+		t.Error("truncated length prefix should fail")
+	}
+	if _, err := DecodeStrings(enc[:6]); err == nil {
+		t.Error("truncated body should fail")
+	}
+}

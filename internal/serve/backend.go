@@ -1,0 +1,302 @@
+package serve
+
+import (
+	"cmp"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"pgxsort/internal/comm"
+	"pgxsort/internal/core"
+	"pgxsort/internal/dist"
+	"pgxsort/internal/keyio"
+)
+
+// backend is one key domain's sorting surface: an engine plus its
+// scheduler behind the canonical byte format of internal/keyio. The
+// HTTP handlers speak only bytes and strings; the generic machinery
+// lives behind this interface so the handler code is written once.
+type backend interface {
+	keyType() dist.KeyType
+	// count validates canonical bytes and returns the number of keys.
+	count(raw []byte) (int, error)
+	// canonJSON parses JSON key values into canonical bytes.
+	canonJSON(vals []json.RawMessage) ([]byte, error)
+	// generate renders a deterministic synthetic dataset canonically.
+	generate(g dist.Gen, n int, prefix string) []byte
+	// sort runs one dataset through the scheduler and returns the
+	// canonical sorted bytes. recbytes > 0 attaches that much opaque
+	// payload ballast per key and takes the record path.
+	sort(ctx context.Context, raw []byte, recbytes int) ([]byte, core.Report, error)
+	// topk answers a top-k / bottom-k query without a full merge.
+	topk(raw []byte, k int, bottom bool) (*topkAnswer, error)
+	// rank counts keys below and equal to target (given as a string).
+	rank(raw []byte, target string) (*rankAnswer, error)
+	close() error
+}
+
+// topkAnswer is a keytype-erased core.TopKResult.
+type topkAnswer struct {
+	Keys    []string // selected keys, formatted (descending for top-k)
+	Procs   []int    // originating processor per key
+	N       int      // dataset size
+	Bytes   int64    // query traffic: p*k candidates, not the dataset
+	Elapsed time.Duration
+}
+
+// rankAnswer locates a key in the dataset's sort order without sorting:
+// Rank keys order strictly below Target, Count equal it.
+type rankAnswer struct {
+	Rank  int
+	Count int
+	N     int
+}
+
+// typedBackend implements backend for one ordered key type K via a
+// handful of per-type closures (encode/decode/parse/format/generate).
+type typedBackend[K cmp.Ordered] struct {
+	kt    dist.KeyType
+	eng   *core.Engine[K]
+	sched *core.Scheduler[K]
+	procs int
+
+	enc    func([]K) []byte
+	dec    func([]byte) ([]K, error)
+	parse  func(string) (K, error)
+	format func(K) string
+	less   func(a, b K) bool // total order (floats: IEEE-754 total order)
+	gen    func(g dist.Gen, n int, prefix string) []K
+	fromJS func(json.RawMessage) (K, error)
+}
+
+// newBackend builds the engine, scheduler and codec for one key domain.
+// Every engine gets a payload-carrying codec so the same backend serves
+// both plain key sorts and recbytes record sorts; the engine unwraps the
+// key codec for the radix fast path either way.
+func newBackend(kt dist.KeyType, cfg Config) (backend, error) {
+	opts := cfg.engineOptions()
+	switch kt {
+	case dist.KeyUint64:
+		eng, err := core.NewEngine[uint64](opts, comm.NewRecordCodec[uint64](comm.U64Codec{}))
+		if err != nil {
+			return nil, fmt.Errorf("serve: %s engine: %w", kt, err)
+		}
+		return &typedBackend[uint64]{
+			kt: kt, eng: eng, sched: core.NewScheduler(eng, core.SortManyOpts{}),
+			procs:  eng.Options().Procs,
+			enc:    keyio.EncodeUint64s,
+			dec:    keyio.DecodeUint64s,
+			parse:  parseU64,
+			format: func(k uint64) string { return strconv.FormatUint(k, 10) },
+			less:   func(a, b uint64) bool { return a < b },
+			gen:    func(g dist.Gen, n int, _ string) []uint64 { return g.Keys(n) },
+			fromJS: jsonU64,
+		}, nil
+	case dist.KeyFloat64:
+		eng, err := core.NewEngine[float64](opts, comm.NewRecordCodec[float64](comm.F64Codec{}))
+		if err != nil {
+			return nil, fmt.Errorf("serve: %s engine: %w", kt, err)
+		}
+		return &typedBackend[float64]{
+			kt: kt, eng: eng, sched: core.NewScheduler(eng, core.SortManyOpts{}),
+			procs:  eng.Options().Procs,
+			enc:    keyio.EncodeFloat64s,
+			dec:    keyio.DecodeFloat64s,
+			parse:  parseF64,
+			format: func(k float64) string { return strconv.FormatFloat(k, 'g', -1, 64) },
+			less:   keyio.F64TotalLess,
+			gen:    func(g dist.Gen, n int, _ string) []float64 { return g.Floats(n) },
+			fromJS: jsonF64,
+		}, nil
+	case dist.KeyString:
+		eng, err := core.NewEngine[string](opts, comm.NewRecordCodec[string](comm.StringCodec{}))
+		if err != nil {
+			return nil, fmt.Errorf("serve: %s engine: %w", kt, err)
+		}
+		return &typedBackend[string]{
+			kt: kt, eng: eng, sched: core.NewScheduler(eng, core.SortManyOpts{}),
+			procs:  eng.Options().Procs,
+			enc:    keyio.EncodeStrings,
+			dec:    keyio.DecodeStrings,
+			parse:  func(s string) (string, error) { return s, nil },
+			format: func(k string) string { return k },
+			less:   func(a, b string) bool { return a < b },
+			gen:    func(g dist.Gen, n int, prefix string) []string { return g.Strings(n, prefix) },
+			fromJS: jsonStr,
+		}, nil
+	default:
+		return nil, fmt.Errorf("serve: unknown key type %q", kt)
+	}
+}
+
+func (b *typedBackend[K]) keyType() dist.KeyType { return b.kt }
+
+func (b *typedBackend[K]) count(raw []byte) (int, error) {
+	keys, err := b.dec(raw)
+	if err != nil {
+		return 0, err
+	}
+	return len(keys), nil
+}
+
+func (b *typedBackend[K]) canonJSON(vals []json.RawMessage) ([]byte, error) {
+	keys := make([]K, len(vals))
+	for i, v := range vals {
+		k, err := b.fromJS(v)
+		if err != nil {
+			return nil, fmt.Errorf("keys[%d]: %w", i, err)
+		}
+		keys[i] = k
+	}
+	return b.enc(keys), nil
+}
+
+func (b *typedBackend[K]) generate(g dist.Gen, n int, prefix string) []byte {
+	return b.enc(b.gen(g, n, prefix))
+}
+
+func (b *typedBackend[K]) sort(ctx context.Context, raw []byte, recbytes int) ([]byte, core.Report, error) {
+	keys, err := b.dec(raw)
+	if err != nil {
+		return nil, core.Report{}, err
+	}
+	var res *core.Result[K]
+	if recbytes > 0 {
+		// Record path: opaque zero-byte ballast rides each key through
+		// exchange and merge, exercising the payload wire format and the
+		// service's bandwidth cost without inventing a record schema.
+		parts := blocks(keys, b.procs)
+		recs := make([][]comm.Record[K], len(parts))
+		for i, part := range parts {
+			rp := make([]comm.Record[K], len(part))
+			ballast := make([]byte, recbytes)
+			for j, k := range part {
+				rp[j] = comm.Record[K]{Key: k, Payload: ballast}
+			}
+			recs[i] = rp
+		}
+		res, err = b.sched.RunOneRecords(ctx, recs)
+	} else {
+		res, err = b.sched.RunOne(ctx, blocks(keys, b.procs))
+	}
+	if err != nil {
+		return nil, core.Report{}, err
+	}
+	return b.enc(res.Keys()), res.Report.Snapshot(), nil
+}
+
+func (b *typedBackend[K]) topk(raw []byte, k int, bottom bool) (*topkAnswer, error) {
+	keys, err := b.dec(raw)
+	if err != nil {
+		return nil, err
+	}
+	parts := blocks(keys, b.procs)
+	var res *core.TopKResult[K]
+	if bottom {
+		res, err = b.eng.BottomK(parts, k)
+	} else {
+		res, err = b.eng.TopK(parts, k)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ans := &topkAnswer{N: len(keys), Bytes: res.BytesSent, Elapsed: res.Duration}
+	for _, e := range res.Entries {
+		ans.Keys = append(ans.Keys, b.format(e.Key))
+		ans.Procs = append(ans.Procs, int(e.Proc))
+	}
+	return ans, nil
+}
+
+func (b *typedBackend[K]) rank(raw []byte, target string) (*rankAnswer, error) {
+	keys, err := b.dec(raw)
+	if err != nil {
+		return nil, err
+	}
+	t, err := b.parse(target)
+	if err != nil {
+		return nil, fmt.Errorf("key: %w", err)
+	}
+	ans := &rankAnswer{N: len(keys)}
+	for _, k := range keys {
+		switch {
+		case b.less(k, t):
+			ans.Rank++
+		case !b.less(t, k):
+			ans.Count++
+		}
+	}
+	return ans, nil
+}
+
+func (b *typedBackend[K]) close() error { return b.eng.Close() }
+
+// blocks splits data into p contiguous parts, sizes differing by at most
+// one — the same block distribution the CLI and facade use.
+func blocks[K any](data []K, p int) [][]K {
+	parts := make([][]K, p)
+	base, rem := len(data)/p, len(data)%p
+	off := 0
+	for i := range parts {
+		n := base
+		if i < rem {
+			n++
+		}
+		parts[i] = data[off : off+n]
+		off += n
+	}
+	return parts
+}
+
+// parseU64 accepts decimal uint64 text (the JSON-safe string form).
+func parseU64(s string) (uint64, error) {
+	return strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+}
+
+// parseF64 accepts decimal float text plus NaN / ±Inf spellings.
+func parseF64(s string) (float64, error) {
+	return strconv.ParseFloat(strings.TrimSpace(s), 64)
+}
+
+// jsonU64 accepts a JSON number or a decimal string. Strings exist
+// because JSON numbers lose precision above 2^53 in most clients;
+// numbers are still parsed from the raw text, so integral values beyond
+// 2^53 survive when the client emits them exactly.
+func jsonU64(v json.RawMessage) (uint64, error) {
+	s := strings.TrimSpace(string(v))
+	if strings.HasPrefix(s, `"`) {
+		var str string
+		if err := json.Unmarshal(v, &str); err != nil {
+			return 0, err
+		}
+		return parseU64(str)
+	}
+	return parseU64(s)
+}
+
+// jsonF64 accepts a JSON number or a string ("NaN", "+Inf", "-Inf",
+// or any decimal float — strings are the only way to send non-finite
+// values in JSON).
+func jsonF64(v json.RawMessage) (float64, error) {
+	s := strings.TrimSpace(string(v))
+	if strings.HasPrefix(s, `"`) {
+		var str string
+		if err := json.Unmarshal(v, &str); err != nil {
+			return 0, err
+		}
+		return parseF64(str)
+	}
+	return parseF64(s)
+}
+
+// jsonStr accepts a JSON string.
+func jsonStr(v json.RawMessage) (string, error) {
+	var s string
+	if err := json.Unmarshal(v, &s); err != nil {
+		return "", err
+	}
+	return s, nil
+}

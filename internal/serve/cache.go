@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+
+	"pgxsort/internal/dist"
+)
+
+// resultCache deduplicates repeated sorts: identical (key type, record
+// payload size, input bytes) triples map to the same content hash, and a
+// hit returns the stored canonical sorted bytes without touching the
+// engine. Entries are evicted least-recently-used once the stored bytes
+// exceed the byte budget. A nil budget (Config.CacheBytes < 0) disables
+// the cache entirely; every call is then a miss that never stores.
+type resultCache struct {
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	lru    *list.List // front = most recently used; values are *cacheEntry
+	byKey  map[cacheKey]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type cacheKey [sha256.Size]byte
+
+type cacheEntry struct {
+	key    cacheKey
+	sorted []byte
+	n      int
+}
+
+func newResultCache(budget int64) *resultCache {
+	c := &resultCache{budget: budget}
+	if budget > 0 {
+		c.lru = list.New()
+		c.byKey = make(map[cacheKey]*list.Element)
+	}
+	return c
+}
+
+// hashJob derives the content address of one sort job. The scheme is
+// versioned so a format change cannot alias old entries.
+func hashJob(kt dist.KeyType, recbytes int, raw []byte) cacheKey {
+	h := sha256.New()
+	h.Write([]byte("pgxsortd/v1\x00"))
+	h.Write([]byte(kt))
+	h.Write([]byte{0})
+	var rb [8]byte
+	binary.LittleEndian.PutUint64(rb[:], uint64(recbytes))
+	h.Write(rb[:])
+	h.Write(raw)
+	var k cacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+// get returns the cached sorted bytes for key, if present.
+func (c *resultCache) get(key cacheKey) ([]byte, int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.byKey == nil {
+		c.misses++
+		return nil, 0, false
+	}
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, 0, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	e := el.Value.(*cacheEntry)
+	return e.sorted, e.n, true
+}
+
+// put stores one result, evicting LRU entries past the byte budget.
+// Results larger than the whole budget are not stored.
+func (c *resultCache) put(key cacheKey, sorted []byte, n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.byKey == nil || int64(len(sorted)) > c.budget {
+		return
+	}
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.lru.PushFront(&cacheEntry{key: key, sorted: sorted, n: n})
+	c.bytes += int64(len(sorted))
+	for c.bytes > c.budget {
+		el := c.lru.Back()
+		e := el.Value.(*cacheEntry)
+		c.lru.Remove(el)
+		delete(c.byKey, e.key)
+		c.bytes -= int64(len(e.sorted))
+		c.evictions++
+	}
+}
+
+// stats snapshots the cache counters for /metrics.
+func (c *resultCache) stats() (hits, misses, evictions, bytes, entries, budget int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	entries = 0
+	if c.lru != nil {
+		entries = int64(c.lru.Len())
+	}
+	budget = c.budget
+	if budget < 0 {
+		budget = 0
+	}
+	return c.hits, c.misses, c.evictions, c.bytes, entries, budget
+}

@@ -1,0 +1,570 @@
+package serve
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"pgxsort/internal/core"
+	"pgxsort/internal/dist"
+)
+
+// The HTTP surface. Request and response schemas are documented in
+// docs/API.md; this file is their single implementation.
+
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sort", s.handleSort)
+	mux.HandleFunc("POST /v1/topk", s.handleTopK)
+	mux.HandleFunc("POST /v1/rank", s.handleRank)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/jobs", s.handleJobs)
+	return mux
+}
+
+// apiError carries an HTTP status with its message through the request
+// pipeline; writeError renders it as the JSON error envelope.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// writeError emits the JSON error envelope, with Retry-After on the
+// backpressure statuses (429 queue full, 503 draining).
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// distSpec asks the server to synthesize a deterministic dataset instead
+// of uploading one (see internal/dist).
+type distSpec struct {
+	Kind   string `json:"kind"`
+	N      int    `json:"n"`
+	Seed   uint64 `json:"seed"`
+	Domain uint64 `json:"domain,omitempty"`
+	Prefix string `json:"prefix,omitempty"` // string keys only
+}
+
+// sortRequest is the JSON body shared by /v1/sort, /v1/topk and
+// /v1/rank. Exactly one of Keys, KeysB64 or Dist supplies the dataset.
+type sortRequest struct {
+	Tenant     string            `json:"tenant,omitempty"`
+	KeyType    string            `json:"key_type,omitempty"`
+	Keys       []json.RawMessage `json:"keys,omitempty"`
+	KeysB64    string            `json:"keys_b64,omitempty"`
+	Dist       *distSpec         `json:"dist,omitempty"`
+	DeadlineMS int64             `json:"deadline_ms,omitempty"`
+	RecBytes   int               `json:"recbytes,omitempty"`
+	NoCache    bool              `json:"no_cache,omitempty"`
+
+	K      int    `json:"k,omitempty"`      // /v1/topk
+	Bottom bool   `json:"bottom,omitempty"` // /v1/topk
+	Key    string `json:"key,omitempty"`    // /v1/rank
+}
+
+// reportSummary is the engine-facing slice of one sort's Report that
+// rides in the JSON response.
+type reportSummary struct {
+	EngineMS      float64 `json:"engine_ms"`
+	BytesSent     int64   `json:"bytes_sent"`
+	MsgsSent      int64   `json:"msgs_sent"`
+	LocalSortPath string  `json:"local_sort"`
+	MergePath     string  `json:"merge"`
+	AdmitWaitMS   float64 `json:"admit_wait_ms"`
+}
+
+type sortResponse struct {
+	JobID     string         `json:"job_id"`
+	KeyType   string         `json:"key_type"`
+	N         int            `json:"n"`
+	Cached    bool           `json:"cached"`
+	ElapsedMS float64        `json:"elapsed_ms"`
+	KeysB64   string         `json:"keys_b64"`
+	Report    *reportSummary `json:"report,omitempty"`
+}
+
+type topkEntry struct {
+	Key  string `json:"key"`
+	Proc int    `json:"proc"`
+}
+
+type topkResponse struct {
+	JobID     string      `json:"job_id"`
+	KeyType   string      `json:"key_type"`
+	N         int         `json:"n"`
+	K         int         `json:"k"`
+	Bottom    bool        `json:"bottom"`
+	Entries   []topkEntry `json:"entries"`
+	BytesSent int64       `json:"bytes_sent"`
+	ElapsedMS float64     `json:"elapsed_ms"`
+}
+
+type rankResponse struct {
+	JobID     string  `json:"job_id"`
+	KeyType   string  `json:"key_type"`
+	Key       string  `json:"key"`
+	Rank      int     `json:"rank"`
+	Count     int     `json:"count"`
+	N         int     `json:"n"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// maxBody bounds request bodies: the canonical encodings spend at most
+// 16 bytes per small key, plus slack for JSON framing.
+func (s *Server) maxBody() int64 {
+	return int64(s.cfg.MaxKeys)*24 + 1<<20
+}
+
+// decodeRequest parses the shared JSON body.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*sortRequest, *apiError) {
+	body := http.MaxBytesReader(w, r.Body, s.maxBody())
+	var req sortRequest
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, badRequest("invalid JSON body: %v", err)
+	}
+	return &req, nil
+}
+
+// resolveDataset turns the request's dataset source into canonical bytes.
+func (s *Server) resolveDataset(b backend, req *sortRequest) (raw []byte, n int, apiErr *apiError) {
+	sources := 0
+	if req.Keys != nil {
+		sources++
+	}
+	if req.KeysB64 != "" {
+		sources++
+	}
+	if req.Dist != nil {
+		sources++
+	}
+	if sources != 1 {
+		return nil, 0, badRequest("supply exactly one of keys, keys_b64 or dist (got %d)", sources)
+	}
+	switch {
+	case req.Keys != nil:
+		var err error
+		raw, err = b.canonJSON(req.Keys)
+		if err != nil {
+			return nil, 0, badRequest("%v", err)
+		}
+		n = len(req.Keys)
+	case req.KeysB64 != "":
+		var err error
+		raw, err = base64.StdEncoding.DecodeString(req.KeysB64)
+		if err != nil {
+			return nil, 0, badRequest("keys_b64: %v", err)
+		}
+		n, err = b.count(raw)
+		if err != nil {
+			return nil, 0, badRequest("keys_b64: %v", err)
+		}
+	default:
+		spec := req.Dist
+		if spec.N <= 0 {
+			return nil, 0, badRequest("dist.n must be positive")
+		}
+		if spec.N > s.cfg.MaxKeys {
+			return nil, 0, &apiError{http.StatusRequestEntityTooLarge, fmt.Sprintf("dist.n %d exceeds the %d-key limit", spec.N, s.cfg.MaxKeys)}
+		}
+		kind := dist.Uniform
+		if spec.Kind != "" {
+			var err error
+			kind, err = dist.ParseKind(spec.Kind)
+			if err != nil {
+				return nil, 0, badRequest("dist.kind: %v", err)
+			}
+		}
+		raw = b.generate(dist.Gen{Kind: kind, Seed: spec.Seed, Domain: spec.Domain}, spec.N, spec.Prefix)
+		n = spec.N
+	}
+	if n > s.cfg.MaxKeys {
+		return nil, 0, &apiError{http.StatusRequestEntityTooLarge, fmt.Sprintf("%d keys exceeds the %d-key limit", n, s.cfg.MaxKeys)}
+	}
+	return raw, n, nil
+}
+
+// jobCtx applies the effective deadline: the request's deadline_ms,
+// clamped to Config.JobTimeout.
+func (s *Server) jobCtx(r *http.Request, deadlineMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.JobTimeout
+	if deadlineMS > 0 && time.Duration(deadlineMS)*time.Millisecond < d {
+		d = time.Duration(deadlineMS) * time.Millisecond
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// handleSort runs one sort job. Two request shapes share the endpoint:
+// JSON (sortRequest) and application/octet-stream, whose body is the
+// canonical keyio encoding and whose options ride in query parameters.
+// The octet-stream shape answers with the canonical sorted bytes —
+// byte-identical to what `pgxsort sort` writes to disk.
+func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	binary := strings.HasPrefix(r.Header.Get("Content-Type"), "application/octet-stream")
+	var req *sortRequest
+	var b backend
+	var raw []byte
+	var n int
+	var apiErr *apiError
+	if binary {
+		req, apiErr = s.binarySortRequest(r)
+		if apiErr == nil {
+			b, apiErr = s.lookupBackend(req.KeyType)
+		}
+		if apiErr == nil {
+			body := http.MaxBytesReader(w, r.Body, s.maxBody())
+			data, err := io.ReadAll(body)
+			if err != nil {
+				apiErr = badRequest("reading body: %v", err)
+			} else if n, err = b.count(data); err != nil {
+				apiErr = badRequest("body is not canonical %s data: %v", b.keyType(), err)
+			} else if n > s.cfg.MaxKeys {
+				apiErr = &apiError{http.StatusRequestEntityTooLarge, fmt.Sprintf("%d keys exceeds the %d-key limit", n, s.cfg.MaxKeys)}
+			} else {
+				raw = data
+			}
+		}
+	} else {
+		req, apiErr = s.decodeRequest(w, r)
+		if apiErr == nil {
+			b, apiErr = s.lookupBackend(req.KeyType)
+		}
+		if apiErr == nil {
+			raw, n, apiErr = s.resolveDataset(b, req)
+		}
+	}
+	if apiErr != nil {
+		s.rejectRequest(w, "sort", apiErr, start)
+		return
+	}
+	if req.RecBytes < 0 {
+		s.rejectRequest(w, "sort", badRequest("recbytes must be non-negative"), start)
+		return
+	}
+
+	id := s.jobID()
+	log := func(status int, err error, cached bool, rep *core.Report) {
+		s.jobs.add(newJobRecord(id, req.Tenant, "sort", b.keyType(), n, status, err, cached, time.Since(start), rep))
+	}
+
+	// Cache probe: hits bypass admission entirely — a cached answer
+	// costs no engine capacity, so overload must not refuse it.
+	ckey := hashJob(b.keyType(), req.RecBytes, raw)
+	if !req.NoCache {
+		if sorted, cn, ok := s.cache.get(ckey); ok {
+			s.met.jobDone("sort", "200", time.Since(start))
+			log(http.StatusOK, nil, true, nil)
+			s.writeSorted(w, r, binary, id, b, sorted, cn, true, start, nil)
+			return
+		}
+	}
+
+	sorted, rep, status, runErr := s.runSort(r, b, req, raw)
+	if runErr != nil {
+		s.met.jobDone("sort", strconv.Itoa(status), time.Since(start))
+		if status == http.StatusTooManyRequests {
+			s.met.reject("queue_full")
+		}
+		log(status, runErr, false, nil)
+		s.writeError(w, status, runErr.Error())
+		return
+	}
+	if !req.NoCache {
+		s.cache.put(ckey, sorted, n)
+	}
+	s.met.jobDone("sort", "200", time.Since(start))
+	log(http.StatusOK, nil, false, &rep)
+	s.writeSorted(w, r, binary, id, b, sorted, n, false, start, &rep)
+}
+
+// runSort takes one resolved dataset through admission and the engine.
+func (s *Server) runSort(r *http.Request, b backend, req *sortRequest, raw []byte) (sorted []byte, rep core.Report, status int, err error) {
+	// Counting into jobsWG before re-checking draining closes the race
+	// with Close: either Close sees our count and waits, or we see its
+	// draining flag and refuse.
+	s.jobsWG.Add(1)
+	defer s.jobsWG.Done()
+	if s.draining.Load() {
+		return nil, rep, http.StatusServiceUnavailable, errors.New("server is draining")
+	}
+	ctx, cancel := s.jobCtx(r, req.DeadlineMS)
+	defer cancel()
+	release, st := s.adm.begin(ctx, req.Tenant)
+	switch st {
+	case admitQueueFull:
+		return nil, rep, http.StatusTooManyRequests, errors.New("admission queue is full; retry later")
+	case admitDeadline:
+		return nil, rep, http.StatusGatewayTimeout, fmt.Errorf("deadline expired waiting for tenant slot: %v", ctx.Err())
+	}
+	defer release()
+	s.met.jobStart()
+	defer s.met.jobEnd()
+	sorted, rep, err = b.sort(ctx, raw, req.RecBytes)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return nil, rep, http.StatusGatewayTimeout, fmt.Errorf("job deadline exceeded: %w", err)
+		}
+		return nil, rep, http.StatusInternalServerError, fmt.Errorf("sort failed: %w", err)
+	}
+	s.met.absorb(&rep)
+	return sorted, rep, http.StatusOK, nil
+}
+
+// writeSorted renders a finished sort in the shape the request used.
+func (s *Server) writeSorted(w http.ResponseWriter, r *http.Request, binary bool, id string, b backend, sorted []byte, n int, cached bool, start time.Time, rep *core.Report) {
+	if binary {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Pgxsortd-Job", id)
+		w.Header().Set("X-Pgxsortd-N", strconv.Itoa(n))
+		cacheHdr := "miss"
+		if cached {
+			cacheHdr = "hit"
+		}
+		w.Header().Set("X-Pgxsortd-Cache", cacheHdr)
+		w.Write(sorted)
+		return
+	}
+	resp := sortResponse{
+		JobID:     id,
+		KeyType:   string(b.keyType()),
+		N:         n,
+		Cached:    cached,
+		ElapsedMS: ms(time.Since(start)),
+		KeysB64:   base64.StdEncoding.EncodeToString(sorted),
+	}
+	if rep != nil {
+		resp.Report = &reportSummary{
+			EngineMS:      ms(rep.Total),
+			BytesSent:     rep.BytesSent,
+			MsgsSent:      rep.MsgsSent,
+			LocalSortPath: rep.LocalSortPath,
+			MergePath:     rep.MergePath,
+			AdmitWaitMS:   ms(rep.Sched.AdmitWait),
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// binarySortRequest reads the octet-stream shape's query parameters.
+func (s *Server) binarySortRequest(r *http.Request) (*sortRequest, *apiError) {
+	q := r.URL.Query()
+	req := &sortRequest{
+		Tenant:  q.Get("tenant"),
+		KeyType: q.Get("key_type"),
+		NoCache: q.Get("no_cache") == "true",
+	}
+	if v := q.Get("deadline_ms"); v != "" {
+		d, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || d < 0 {
+			return nil, badRequest("deadline_ms: %q is not a non-negative integer", v)
+		}
+		req.DeadlineMS = d
+	}
+	if v := q.Get("recbytes"); v != "" {
+		rb, err := strconv.Atoi(v)
+		if err != nil || rb < 0 {
+			return nil, badRequest("recbytes: %q is not a non-negative integer", v)
+		}
+		req.RecBytes = rb
+	}
+	return req, nil
+}
+
+func (s *Server) lookupBackend(keyType string) (backend, *apiError) {
+	b, err := s.backendFor(keyType)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	return b, nil
+}
+
+// rejectRequest accounts and answers a request refused before running.
+func (s *Server) rejectRequest(w http.ResponseWriter, endpoint string, apiErr *apiError, start time.Time) {
+	s.met.jobDone(endpoint, strconv.Itoa(apiErr.status), time.Since(start))
+	switch apiErr.status {
+	case http.StatusBadRequest:
+		s.met.reject("bad_request")
+	case http.StatusRequestEntityTooLarge:
+		s.met.reject("too_large")
+	}
+	s.writeError(w, apiErr.status, apiErr.msg)
+}
+
+// handleTopK answers top-k / bottom-k without a full merge: each node
+// preselects k candidates with a bounded heap and only p*k entries
+// travel (see core.Engine.TopK).
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	req, apiErr := s.decodeRequest(w, r)
+	var b backend
+	if apiErr == nil {
+		b, apiErr = s.lookupBackend(req.KeyType)
+	}
+	var raw []byte
+	var n int
+	if apiErr == nil {
+		raw, n, apiErr = s.resolveDataset(b, req)
+	}
+	if apiErr == nil && req.K <= 0 {
+		apiErr = badRequest("k must be positive")
+	}
+	if apiErr != nil {
+		s.rejectRequest(w, "topk", apiErr, start)
+		return
+	}
+	id := s.jobID()
+	ans, status, err := runQuery(s, r, req, func() (*topkAnswer, error) {
+		return b.topk(raw, req.K, req.Bottom)
+	})
+	s.met.jobDone("topk", strconv.Itoa(status), time.Since(start))
+	if err != nil {
+		if status == http.StatusTooManyRequests {
+			s.met.reject("queue_full")
+		}
+		s.jobs.add(newJobRecord(id, req.Tenant, "topk", b.keyType(), n, status, err, false, time.Since(start), nil))
+		s.writeError(w, status, err.Error())
+		return
+	}
+	s.jobs.add(newJobRecord(id, req.Tenant, "topk", b.keyType(), n, status, nil, false, time.Since(start), nil))
+	resp := topkResponse{
+		JobID:     id,
+		KeyType:   string(b.keyType()),
+		N:         ans.N,
+		K:         req.K,
+		Bottom:    req.Bottom,
+		Entries:   make([]topkEntry, len(ans.Keys)),
+		BytesSent: ans.Bytes,
+		ElapsedMS: ms(time.Since(start)),
+	}
+	for i := range ans.Keys {
+		resp.Entries[i] = topkEntry{Key: ans.Keys[i], Proc: ans.Procs[i]}
+	}
+	writeJSON(w, resp)
+}
+
+// handleRank locates one key in the dataset's global sort order by
+// parallelizable counting — no sort, no redistribution.
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	req, apiErr := s.decodeRequest(w, r)
+	var b backend
+	if apiErr == nil {
+		b, apiErr = s.lookupBackend(req.KeyType)
+	}
+	var raw []byte
+	if apiErr == nil {
+		raw, _, apiErr = s.resolveDataset(b, req)
+	}
+	if apiErr == nil && req.Key == "" && b.keyType() != dist.KeyString {
+		apiErr = badRequest("key is required")
+	}
+	if apiErr != nil {
+		s.rejectRequest(w, "rank", apiErr, start)
+		return
+	}
+	id := s.jobID()
+	ans, status, err := runQuery(s, r, req, func() (*rankAnswer, error) {
+		return b.rank(raw, req.Key)
+	})
+	s.met.jobDone("rank", strconv.Itoa(status), time.Since(start))
+	if err != nil {
+		if status == http.StatusTooManyRequests {
+			s.met.reject("queue_full")
+		}
+		s.jobs.add(newJobRecord(id, req.Tenant, "rank", b.keyType(), 0, status, err, false, time.Since(start), nil))
+		s.writeError(w, status, err.Error())
+		return
+	}
+	s.jobs.add(newJobRecord(id, req.Tenant, "rank", b.keyType(), ans.N, status, nil, false, time.Since(start), nil))
+	writeJSON(w, rankResponse{
+		JobID:     id,
+		KeyType:   string(b.keyType()),
+		Key:       req.Key,
+		Rank:      ans.Rank,
+		Count:     ans.Count,
+		N:         ans.N,
+		ElapsedMS: ms(time.Since(start)),
+	})
+}
+
+// runQuery is the admission wrapper for the sort-free queries (top-k,
+// rank): same front door as sorts — draining check, bounded queue,
+// tenant cap — but no scheduler stage, since the queries never enter
+// the sort pipeline.
+func runQuery[T any](s *Server, r *http.Request, req *sortRequest, run func() (T, error)) (ans T, status int, err error) {
+	var zero T
+	s.jobsWG.Add(1)
+	defer s.jobsWG.Done()
+	if s.draining.Load() {
+		return zero, http.StatusServiceUnavailable, errors.New("server is draining")
+	}
+	ctx, cancel := s.jobCtx(r, req.DeadlineMS)
+	defer cancel()
+	release, st := s.adm.begin(ctx, req.Tenant)
+	switch st {
+	case admitQueueFull:
+		return zero, http.StatusTooManyRequests, errors.New("admission queue is full; retry later")
+	case admitDeadline:
+		return zero, http.StatusGatewayTimeout, fmt.Errorf("deadline expired waiting for tenant slot: %v", ctx.Err())
+	}
+	defer release()
+	s.met.jobStart()
+	defer s.met.jobEnd()
+	ans, err = run()
+	if err != nil {
+		return zero, http.StatusInternalServerError, err
+	}
+	return ans, http.StatusOK, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.Draining() {
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	io.WriteString(w, "ready\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, s.met.render(s))
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"jobs": s.jobs.list()})
+}

@@ -1,0 +1,240 @@
+// Package serve is the sorting-as-a-service layer: an HTTP front end
+// over the core engine that turns the one-shot CLI pipeline into a
+// resident, multi-tenant endpoint. It owns everything between the socket
+// and the scheduler — admission (bounded queue, per-tenant inflight
+// caps, per-job deadlines), a content-hash result cache with an LRU byte
+// budget, metrics exposition and a job trace log — while the sorting
+// itself stays in internal/core, reached through the PR 2 scheduler so
+// concurrent HTTP jobs obey the same inflight and stage-serialization
+// rules as a SortMany batch.
+//
+// The package map:
+//
+//	serve.go    — Config, Server lifecycle (New / Close / draining)
+//	backend.go  — per-keytype engine + codec + canonical byte formats
+//	admission.go— bounded queue and per-tenant semaphores
+//	cache.go    — content-addressed LRU result cache
+//	metrics.go  — counter aggregation and /metrics text exposition
+//	jobs.go     — /debug/jobs ring buffer
+//	handlers.go — the HTTP surface (documented in docs/API.md)
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pgxsort/internal/core"
+	"pgxsort/internal/dist"
+	"pgxsort/internal/transport"
+)
+
+// Defaults for the zero Config fields.
+const (
+	DefaultTenantInflight = 2
+	DefaultQueueDepth     = 16
+	DefaultCacheBytes     = 64 << 20
+	DefaultJobTimeout     = 60 * time.Second
+	DefaultMaxKeys        = 50_000_000
+	DefaultRetryAfter     = 1 * time.Second
+)
+
+// Config shapes one pgxsortd server. The zero value serves all three key
+// domains over the in-process transport with the documented defaults.
+type Config struct {
+	// Procs / Workers size each keytype's engine (see core.Options).
+	Procs   int
+	Workers int
+	// BufferBytes is the engine buffer size (default 256KB, the paper's).
+	BufferBytes int
+	// Transport selects "chan" (default) or "tcp"; TCP shapes the mesh
+	// for real clusters (see transport.Config). Explicit TCP addresses
+	// bind one mesh, so they require exactly one enabled key type.
+	Transport string
+	TCP       transport.Config
+	// Faults optionally wraps the engines' networks with the
+	// fault-injection harness — the chaos tests' knob, nil in production.
+	Faults *transport.FaultPlan
+	// LocalSort / Merge force engine paths (default auto).
+	LocalSort core.LocalSortMode
+	Merge     core.MergeStrategy
+
+	// MaxInflight is each engine scheduler's global admission cap: how
+	// many sorts may be in flight at once across all tenants (default
+	// core.DefaultMaxInflight).
+	MaxInflight int
+	// TenantInflight caps how many jobs one tenant may have admitted at
+	// once; further jobs from that tenant wait (until their deadline)
+	// while other tenants proceed. Default 2.
+	TenantInflight int
+	// QueueDepth bounds how many jobs may be in the building at once —
+	// waiting plus running, across all tenants. A full queue answers
+	// 429 with Retry-After instead of queueing unboundedly. Default 16.
+	QueueDepth int
+	// CacheBytes is the result cache's LRU byte budget: 0 means the
+	// 64MB default, negative disables caching.
+	CacheBytes int64
+	// JobTimeout is the per-job deadline when a request names none;
+	// an explicit deadline_ms longer than this is clamped to it.
+	// Default 60s.
+	JobTimeout time.Duration
+	// MaxKeys rejects datasets larger than this with 413 (default 50M).
+	MaxKeys int
+	// RetryAfter is the Retry-After hint on 429/503 answers. Default 1s.
+	RetryAfter time.Duration
+	// KeyTypes lists the key domains to build engines for (default all
+	// three: uint64, float64, string).
+	KeyTypes []dist.KeyType
+}
+
+func (c Config) withDefaults() Config {
+	if c.TenantInflight <= 0 {
+		c.TenantInflight = DefaultTenantInflight
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = DefaultCacheBytes
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = DefaultJobTimeout
+	}
+	if c.MaxKeys <= 0 {
+		c.MaxKeys = DefaultMaxKeys
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = DefaultRetryAfter
+	}
+	if len(c.KeyTypes) == 0 {
+		c.KeyTypes = append([]dist.KeyType(nil), dist.KeyTypes...)
+	}
+	return c
+}
+
+// Server is one resident pgxsortd instance: an engine (and scheduler)
+// per enabled key domain behind a shared admission controller, cache,
+// metrics aggregator and job log. Build with New, mount Handler (or the
+// Server itself) on an http.Server, and Close to drain.
+type Server struct {
+	cfg      Config
+	backends map[dist.KeyType]backend
+	adm      *admission
+	cache    *resultCache
+	met      *metrics
+	jobs     *jobLog
+	mux      *http.ServeMux
+
+	draining  atomic.Bool
+	jobsWG    sync.WaitGroup
+	nextJob   atomic.Int64
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New builds the server and its engines. The engines connect their
+// transports immediately (a TCP mesh dials its peers here), so a New
+// that returns is ready to serve.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	explicitTCP := len(cfg.TCP.Listen) > 0 || len(cfg.TCP.Peers) > 0
+	if explicitTCP && len(cfg.KeyTypes) != 1 {
+		return nil, fmt.Errorf("serve: explicit TCP addresses bind one mesh; restrict KeyTypes to exactly one domain (have %d)", len(cfg.KeyTypes))
+	}
+	s := &Server{
+		cfg:      cfg,
+		backends: make(map[dist.KeyType]backend, len(cfg.KeyTypes)),
+		adm:      newAdmission(cfg.QueueDepth, cfg.TenantInflight),
+		cache:    newResultCache(cfg.CacheBytes),
+		met:      newMetrics(),
+		jobs:     newJobLog(jobLogDepth),
+	}
+	seen := make(map[dist.KeyType]bool)
+	for _, kt := range cfg.KeyTypes {
+		if seen[kt] {
+			return nil, fmt.Errorf("serve: duplicate key type %q", kt)
+		}
+		seen[kt] = true
+		b, err := newBackend(kt, cfg)
+		if err != nil {
+			s.closeBackends()
+			return nil, err
+		}
+		s.backends[kt] = b
+	}
+	s.mux = s.routes()
+	return s, nil
+}
+
+// Handler returns the server's HTTP surface (see docs/API.md).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP lets the Server itself be mounted as a handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Draining reports whether Close has begun: /readyz answers 503 and new
+// jobs are refused while in-flight ones finish.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close drains the server: new jobs are refused (503 + Retry-After),
+// in-flight jobs run to completion, then every engine shuts down. Safe
+// to call more than once; later calls return the first close error.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.draining.Store(true)
+		s.jobsWG.Wait()
+		s.closeErr = s.closeBackends()
+	})
+	return s.closeErr
+}
+
+func (s *Server) closeBackends() error {
+	var firstErr error
+	for _, b := range s.backends {
+		if err := b.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// backendFor resolves the key_type request field ("" means uint64).
+func (s *Server) backendFor(keyType string) (backend, error) {
+	kt := dist.KeyUint64
+	if keyType != "" {
+		var err error
+		kt, err = dist.ParseKeyType(keyType)
+		if err != nil {
+			return nil, err
+		}
+	}
+	b, ok := s.backends[kt]
+	if !ok {
+		return nil, fmt.Errorf("key type %q is not enabled on this server", kt)
+	}
+	return b, nil
+}
+
+// jobID mints the next job identifier.
+func (s *Server) jobID() string {
+	return fmt.Sprintf("j-%06d", s.nextJob.Add(1))
+}
+
+// engineOptions maps the service config onto one engine's options.
+func (c Config) engineOptions() core.Options {
+	return core.Options{
+		Procs:          c.Procs,
+		WorkersPerProc: c.Workers,
+		BufferBytes:    c.BufferBytes,
+		Transport:      c.Transport,
+		TCP:            c.TCP,
+		Faults:         c.Faults,
+		LocalSort:      c.LocalSort,
+		Merge:          c.Merge,
+		MaxInflight:    c.MaxInflight,
+	}
+}
