@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -33,6 +34,7 @@ func cmdSubmit(args []string) error {
 	bottom := fs.Bool("bottom", false, "with -topk: the k smallest keys instead")
 	rank := fs.String("rank", "", "query one key's global rank instead of sorting")
 	noCache := fs.Bool("no-cache", false, "bypass the server's result cache")
+	retries := fs.Int("retries", 3, "retries after a connection error or a 429/503 busy answer (0 disables)")
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("submit: -in required")
@@ -57,26 +59,79 @@ func cmdSubmit(args []string) error {
 			"keys_b64": base64.StdEncoding.EncodeToString(raw),
 			"k":        *topk, "bottom": *bottom,
 			"deadline_ms": deadlineMS(*deadline),
-		})
+		}, *retries)
 	case *rank != "":
 		return submitQuery(client, base+"/v1/rank", map[string]any{
 			"tenant": *tenant, "key_type": string(kt),
 			"keys_b64":    base64.StdEncoding.EncodeToString(raw),
 			"key":         *rank,
 			"deadline_ms": deadlineMS(*deadline),
-		})
+		}, *retries)
 	default:
 		if *out == "" {
 			return fmt.Errorf("submit: -out required (or use -topk/-rank)")
 		}
-		return submitSort(client, base, kt, raw, *out, *tenant, *deadline, *noCache)
+		return submitSort(client, base, kt, raw, *out, *tenant, *deadline, *noCache, *retries)
+	}
+}
+
+// retrySleep is swapped out by tests so retry backoffs do not slow the
+// suite down.
+var retrySleep = time.Sleep
+
+// submitBackoff is the capped exponential backoff between submit
+// attempts: 200ms, 400ms, 800ms, ... topping out at 5s.
+func submitBackoff(attempt int) time.Duration {
+	d := 200 * time.Millisecond
+	for i := 0; i < attempt && d < 5*time.Second; i++ {
+		d *= 2
+	}
+	return min(d, 5*time.Second)
+}
+
+// retryableStatus reports whether a status code is an explicit
+// back-off-and-retry signal: 429 (admission queue full) and 503
+// (draining, or a refusal with Retry-After). Anything else is final —
+// a 400 or 504 will not get better by resending the same job.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// postWithRetry POSTs body, retrying transient connection errors and
+// 429/503 busy answers up to retries times. A Retry-After header on a
+// busy answer overrides the exponential backoff — the server knows its
+// queue better than the client's clock does.
+func postWithRetry(client *http.Client, url, contentType string, body []byte, retries int) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(url, contentType, bytes.NewReader(body))
+		if err != nil {
+			if attempt >= retries {
+				return nil, fmt.Errorf("submit: %w (after %d attempts)", err, attempt+1)
+			}
+			retrySleep(submitBackoff(attempt))
+			continue
+		}
+		if attempt >= retries || !retryableStatus(resp.StatusCode) {
+			return resp, nil
+		}
+		wait := submitBackoff(attempt)
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(strings.TrimSpace(ra)); err == nil && secs >= 0 {
+				wait = time.Duration(secs) * time.Second
+			}
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		fmt.Fprintf(os.Stderr, "submit: server busy (%s), retrying in %v (attempt %d of %d)\n",
+			resp.Status, wait, attempt+1, retries+1)
+		retrySleep(wait)
 	}
 }
 
 func deadlineMS(d time.Duration) int64 { return d.Milliseconds() }
 
 // submitSort POSTs the raw key bytes and writes the sorted bytes out.
-func submitSort(client *http.Client, base string, kt dist.KeyType, raw []byte, out, tenant string, deadline time.Duration, noCache bool) error {
+func submitSort(client *http.Client, base string, kt dist.KeyType, raw []byte, out, tenant string, deadline time.Duration, noCache bool, retries int) error {
 	url := fmt.Sprintf("%s/v1/sort?key_type=%s", base, kt)
 	if tenant != "" {
 		url += "&tenant=" + tenant
@@ -87,9 +142,9 @@ func submitSort(client *http.Client, base string, kt dist.KeyType, raw []byte, o
 	if noCache {
 		url += "&no_cache=true"
 	}
-	resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(raw))
+	resp, err := postWithRetry(client, url, "application/octet-stream", raw, retries)
 	if err != nil {
-		return fmt.Errorf("submit: %w", err)
+		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -109,14 +164,14 @@ func submitSort(client *http.Client, base string, kt dist.KeyType, raw []byte, o
 }
 
 // submitQuery POSTs a JSON body and pretty-prints the JSON answer.
-func submitQuery(client *http.Client, url string, body map[string]any) error {
+func submitQuery(client *http.Client, url string, body map[string]any, retries int) error {
 	buf, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	resp, err := postWithRetry(client, url, "application/json", buf, retries)
 	if err != nil {
-		return fmt.Errorf("submit: %w", err)
+		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubSleep replaces the retry backoff with a recorder for the duration
+// of one test.
+func stubSleep(t *testing.T) *[]time.Duration {
+	t.Helper()
+	var slept []time.Duration
+	old := retrySleep
+	retrySleep = func(d time.Duration) { slept = append(slept, d) }
+	t.Cleanup(func() { retrySleep = old })
+	return &slept
+}
+
+// A server that answers 429 with Retry-After until the pressure lifts:
+// submit must back off for the advertised interval and then succeed.
+func TestSubmitRetriesBusyAnswerHonoringRetryAfter(t *testing.T) {
+	slept := stubSleep(t)
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"queue full"}`)
+			return
+		}
+		w.Write([]byte{1, 0, 0, 0, 0, 0, 0, 0})
+	}))
+	defer ts.Close()
+
+	in := filepath.Join(t.TempDir(), "in.bin")
+	out := filepath.Join(t.TempDir(), "out.bin")
+	if err := writeKeys(in, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	captureStdout(t, func() error {
+		return cmdSubmit([]string{"-server", ts.URL, "-in", in, "-out", out, "-retries", "3"})
+	})
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+	if len(*slept) != 2 || (*slept)[0] != 2*time.Second || (*slept)[1] != 2*time.Second {
+		t.Fatalf("backoffs %v, want two 2s waits from Retry-After", *slept)
+	}
+	if raw, err := os.ReadFile(out); err != nil || len(raw) != 8 {
+		t.Fatalf("sorted output not written: %v (%d bytes)", err, len(raw))
+	}
+}
+
+// A dead endpoint: connection errors are retried with the capped
+// exponential backoff, then surfaced with the attempt count.
+func TestSubmitRetriesConnectionErrors(t *testing.T) {
+	slept := stubSleep(t)
+	ts := httptest.NewServer(http.NotFoundHandler())
+	ts.Close() // nothing listens here any more
+
+	in := filepath.Join(t.TempDir(), "in.bin")
+	if err := writeKeys(in, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	err := cmdSubmit([]string{"-server", ts.URL, "-in", in,
+		"-out", filepath.Join(t.TempDir(), "out.bin"), "-retries", "2"})
+	if err == nil {
+		t.Fatal("submit to a dead server succeeded")
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("error does not report the attempt count: %v", err)
+	}
+	want := []time.Duration{200 * time.Millisecond, 400 * time.Millisecond}
+	if len(*slept) != 2 || (*slept)[0] != want[0] || (*slept)[1] != want[1] {
+		t.Fatalf("backoffs %v, want %v", *slept, want)
+	}
+}
+
+// Non-retryable statuses fail immediately: resending a bad request or a
+// timed-out job would not help.
+func TestSubmitDoesNotRetryFinalStatuses(t *testing.T) {
+	slept := stubSleep(t)
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"bad key_type"}`, http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	in := filepath.Join(t.TempDir(), "in.bin")
+	if err := writeKeys(in, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	err := cmdSubmit([]string{"-server", ts.URL, "-in", in,
+		"-out", filepath.Join(t.TempDir(), "out.bin"), "-retries", "5"})
+	if err == nil {
+		t.Fatal("400 answer did not surface as an error")
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts for a 400, want 1", got)
+	}
+	if len(*slept) != 0 {
+		t.Fatalf("slept %v for a non-retryable status", *slept)
+	}
+}
+
+// -retries 0 restores single-shot behavior: a 503 is reported, not
+// retried.
+func TestSubmitRetriesDisabled(t *testing.T) {
+	slept := stubSleep(t)
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	in := filepath.Join(t.TempDir(), "in.bin")
+	if err := writeKeys(in, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	err := cmdSubmit([]string{"-server", ts.URL, "-in", in,
+		"-out", filepath.Join(t.TempDir(), "out.bin"), "-retries", "0"})
+	if err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("want the 503 surfaced, got %v", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts with retries disabled, want 1", got)
+	}
+	if len(*slept) != 0 {
+		t.Fatalf("slept %v with retries disabled", *slept)
+	}
+}
+
+func TestSubmitBackoffCaps(t *testing.T) {
+	want := []time.Duration{
+		200 * time.Millisecond, 400 * time.Millisecond, 800 * time.Millisecond,
+		1600 * time.Millisecond, 3200 * time.Millisecond, 5 * time.Second, 5 * time.Second,
+	}
+	for i, w := range want {
+		if got := submitBackoff(i); got != w {
+			t.Errorf("submitBackoff(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if got := submitBackoff(100); got != 5*time.Second {
+		t.Errorf("submitBackoff(100) = %v, want the 5s cap", got)
+	}
+}

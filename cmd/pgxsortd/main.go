@@ -32,6 +32,7 @@ import (
 
 	"pgxsort"
 	"pgxsort/internal/dist"
+	"pgxsort/internal/failpoint"
 	"pgxsort/internal/serve"
 	tp "pgxsort/internal/transport"
 )
@@ -116,11 +117,21 @@ func buildConfig(args []string) (addr string, cfg serve.Config, err error) {
 	maxKeys := fs.Int("max-keys", 0, "largest accepted dataset (0 = default 50M keys)")
 	localSort := fs.String("localsort", "auto", "local sort path: auto, comparison or radix")
 	overlap := fs.String("overlap", "auto", "exchange–merge overlap: auto, on, or off")
+	retryAttempts := fs.Int("retry-attempts", 0, "scheduler attempts per job before the failure surfaces (0 = default 3)")
+	brThreshold := fs.Int("breaker-threshold", 0, "consecutive fatal mesh failures that open the circuit breaker (0 = default 1)")
+	brCooldown := fs.Duration("breaker-cooldown", 0, "how long an open breaker waits before probing the mesh again (0 = default 30s)")
+	fallbackKeys := fs.Int("fallback-keys", 0, "largest job the degraded single-node fallback accepts (0 = max-keys, negative disables)")
+	failpoints := fs.String("failpoints", "", "failpoint spec site:mode[:nth[:count]][,...] for fault drills (also via "+failpoint.EnvVar+")")
 	if err = fs.Parse(args); err != nil {
 		return "", cfg, err
 	}
 	if fs.NArg() > 0 {
 		return "", cfg, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *failpoints != "" {
+		if err = failpoint.Configure(*failpoints); err != nil {
+			return "", cfg, err
+		}
 	}
 
 	cfg.Procs = *procs
@@ -132,6 +143,10 @@ func buildConfig(args []string) (addr string, cfg serve.Config, err error) {
 	cfg.CacheBytes = int64(*cacheMB) << 20
 	cfg.JobTimeout = *jobTimeout
 	cfg.MaxKeys = *maxKeys
+	cfg.RetryAttempts = *retryAttempts
+	cfg.BreakerThreshold = *brThreshold
+	cfg.BreakerCooldown = *brCooldown
+	cfg.FallbackKeys = *fallbackKeys
 
 	if cfg.LocalSort, err = pgxsort.ParseLocalSortMode(*localSort); err != nil {
 		return "", cfg, err

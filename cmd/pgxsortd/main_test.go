@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"pgxsort/internal/dist"
+	"pgxsort/internal/failpoint"
 )
 
 func TestBuildConfigDefaults(t *testing.T) {
@@ -47,6 +48,27 @@ func TestBuildConfigFlags(t *testing.T) {
 	}
 }
 
+func TestBuildConfigResilienceFlags(t *testing.T) {
+	defer failpoint.Reset()
+	_, cfg, err := buildConfig([]string{
+		"-retry-attempts", "5", "-breaker-threshold", "2",
+		"-breaker-cooldown", "10s", "-fallback-keys", "-1",
+		"-failpoints", "serve/cache-put:error:1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.RetryAttempts != 5 || cfg.BreakerThreshold != 2 || cfg.BreakerCooldown != 10*time.Second {
+		t.Errorf("retry/breaker flags wrong: %+v", cfg)
+	}
+	if cfg.FallbackKeys != -1 {
+		t.Errorf("fallback-keys = %d, want -1 (disabled)", cfg.FallbackKeys)
+	}
+	if !failpoint.Active() {
+		t.Error("-failpoints spec did not arm the registry")
+	}
+}
+
 func TestBuildConfigRejectsBadInput(t *testing.T) {
 	cases := []struct {
 		name string
@@ -56,6 +78,7 @@ func TestBuildConfigRejectsBadInput(t *testing.T) {
 		{"bad keytype", []string{"-keytypes", "int128"}, "unknown key type"},
 		{"bad overlap", []string{"-overlap", "maybe"}, "overlap"},
 		{"bad localsort", []string{"-localsort", "bogo"}, "local sort"},
+		{"bad failpoint spec", []string{"-failpoints", "core/exchange"}, "failpoint"},
 		{"listen without tcp", []string{"-listen", "127.0.0.1:7401"}, "-transport tcp"},
 		{"listen count mismatch", []string{"-transport", "tcp", "-procs", "2", "-keytypes", "uint64", "-listen", "a:1"}, "1 addresses for 2"},
 		{"tcp addrs need one keytype", []string{"-transport", "tcp", "-procs", "1", "-listen", "a:1"}, "exactly one domain"},

@@ -3,6 +3,7 @@ package core
 import (
 	"cmp"
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -195,6 +196,16 @@ func (n *node[K]) cancelSort(sortID int32) {
 			mb.close()
 		}
 	}
+}
+
+// isCancelled reports whether cancelSort has been called for sortID on
+// this node — recv uses it to tell a deliberate teardown from a dead
+// network.
+func (n *node[K]) isCancelled(sortID int32) bool {
+	n.mbMu.Lock()
+	defer n.mbMu.Unlock()
+	_, ok := n.cancelled[sortID]
+	return ok
 }
 
 // dropSort releases the mailboxes (and cancellation marker) of a
@@ -392,6 +403,19 @@ func (e *Engine[K]) sortOne(ctx context.Context, j job[K], ctrl *stageCtrl) (*Re
 	cmps := e.comparators()
 	runs := make([]*sortRun[K], p)
 	start := time.Now()
+	// abort tears the whole sort down the moment any node fails: peers
+	// blocked on messages the failed node will never send observe
+	// errSortAborted instead of hanging until engine close. The same
+	// mechanism ctx cancellation uses, so other sorts multiplexed on the
+	// engine are untouched.
+	var abortOnce sync.Once
+	abort := func() {
+		abortOnce.Do(func() {
+			for _, n := range e.nodes {
+				n.cancelSort(sortID)
+			}
+		})
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < p; i++ {
 		wg.Add(1)
@@ -414,6 +438,9 @@ func (e *Engine[K]) sortOne(ctx context.Context, j job[K], ctrl *stageCtrl) (*Re
 			runs[i] = s
 			outs[i].entries, outs[i].err = s.run()
 			outs[i].report = s.report
+			if outs[i].err != nil {
+				abort()
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -428,10 +455,30 @@ func (e *Engine[K]) sortOne(ctx context.Context, j job[K], ctrl *stageCtrl) (*Re
 	if ctx != nil && ctx.Err() != nil {
 		return nil, ctx.Err()
 	}
+	// Root-cause selection: abort echoes (errSortAborted) are teardown
+	// noise, and among real errors the most actionable class wins — a
+	// Fatal link death outranks the Transient "network closed" it causes
+	// on other nodes. The winner is wrapped as a classified *Failure.
+	rootIdx := -1
 	for i, o := range outs {
-		if o.err != nil {
-			return nil, fmt.Errorf("core: node %d: %w", i, o.err)
+		if o.err == nil || errors.Is(o.err, errSortAborted) {
+			continue
 		}
+		if rootIdx == -1 || classPriority(Classify(o.err)) > classPriority(Classify(outs[rootIdx].err)) {
+			rootIdx = i
+		}
+	}
+	if rootIdx == -1 {
+		for i, o := range outs {
+			if o.err != nil { // abort echoes only: keep the first
+				rootIdx = i
+				break
+			}
+		}
+	}
+	if rootIdx >= 0 {
+		o := outs[rootIdx]
+		return nil, &Failure{Class: Classify(o.err), Stage: runs[rootIdx].curStage, Node: rootIdx, Err: o.err}
 	}
 
 	rep := Report{

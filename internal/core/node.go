@@ -10,8 +10,10 @@ import (
 
 	"pgxsort/internal/comm"
 	"pgxsort/internal/datamgr"
+	"pgxsort/internal/failpoint"
 	"pgxsort/internal/lsort"
 	"pgxsort/internal/sample"
+	"pgxsort/internal/transport"
 )
 
 // sortRun is the per-node state of one sort: the node it runs on, the
@@ -29,6 +31,16 @@ type sortRun[K cmp.Ordered] struct {
 	ctrl     *stageCtrl      // nil outside the SortMany scheduler
 	cmps     sortCmps[K]
 	report   NodeReport
+
+	// curStage is the last stage this node entered; a failure surfacing
+	// from run is attributed to it (core.Failure.Stage).
+	curStage SchedStage
+	// pendingAsm/pendingOv hold the completed exchange between
+	// partitionExchange returning and finalMerge consuming it, so run's
+	// panic recovery can discard them (slabs back to the pool, merger
+	// goroutine joined) when the merge stage never runs.
+	pendingAsm *datamgr.Assembly[K]
+	pendingOv  *overlapMerger[K]
 
 	// Traffic counters are atomics, not a mutex: sends to different
 	// destinations run concurrently on the worker pool, and the exchange
@@ -254,6 +266,17 @@ func (s *sortRun[K]) recv(kind comm.Kind) (comm.Message[K], error) {
 		if s.ctx != nil && s.ctx.Err() != nil {
 			return m, s.ctx.Err()
 		}
+		if s.node.isCancelled(s.sortID) {
+			// A peer node already failed and sortOne tore this sort
+			// down; report the teardown, not a fake network death, so
+			// root-cause selection can tell noise from cause.
+			return m, errSortAborted
+		}
+		if te := transport.TerminalErr(s.node.eng.net); te != nil {
+			// The mesh recorded why it died (e.g. a broken link); chain
+			// it so Classify sees Fatal, not an anonymous closure.
+			return m, fmt.Errorf("network closed while waiting for %v: %w", kind, te)
+		}
 		return m, fmt.Errorf("network closed while waiting for %v", kind)
 	}
 	return m, nil
@@ -262,6 +285,7 @@ func (s *sortRun[K]) recv(kind comm.Kind) (comm.Message[K], error) {
 // enterStage blocks until the scheduler admits this sort into st,
 // recording how long this node waited at the boundary.
 func (s *sortRun[K]) enterStage(st SchedStage) error {
+	s.curStage = st
 	s.stageArrived[st] = true
 	wait, err := s.ctrl.enter(st)
 	s.report.StageWait[st] = wait
@@ -305,18 +329,37 @@ func (s *sortRun[K]) leaveAllStages() {
 // exchange gate is released the moment this sort's communication is done,
 // so pipelined SortMany still serializes only the comm-heavy part while
 // the merge tail proceeds ungated.
-func (s *sortRun[K]) run() ([]comm.Entry[K], error) {
+func (s *sortRun[K]) run() (_ []comm.Entry[K], err error) {
 	s.markTransportBaseline()
 	defer s.leaveAllStages()
 	defer s.foldTraffic()
+	// Innermost defer, so recovery runs before the traffic fold and the
+	// stage forfeits: a stage panic (an injected failpoint or a real
+	// bug) becomes this node's error instead of killing the process,
+	// and a completed-but-unmerged exchange gives its slabs back.
+	defer func() {
+		if r := recover(); r != nil {
+			if s.pendingAsm != nil {
+				s.discardMerge(s.pendingAsm, s.pendingOv)
+				s.pendingAsm, s.pendingOv = nil, nil
+			}
+			err = recoverPanic(r)
+		}
+	}()
 
 	if err := s.enterStage(StageLocalSort); err != nil {
 		return nil, err
 	}
 	entries := s.localSort()
+	if err := failpoint.Hit(fpLocalSort); err != nil {
+		return nil, err
+	}
 	s.leaveStage(StageLocalSort)
 
 	if err := s.enterStage(StageSplitters); err != nil {
+		return nil, err
+	}
+	if err := failpoint.Hit(fpSplitters); err != nil {
 		return nil, err
 	}
 	splitters, err := s.splitterAgreement(entries)
@@ -328,17 +371,28 @@ func (s *sortRun[K]) run() ([]comm.Entry[K], error) {
 	if err := s.enterStage(StageExchange); err != nil {
 		return nil, err
 	}
+	if err := failpoint.Hit(fpExchange); err != nil {
+		return nil, err
+	}
 	asm, ov, err := s.partitionExchange(entries, splitters)
 	if err != nil {
 		return nil, err
 	}
 	s.leaveStage(StageExchange)
+	s.pendingAsm, s.pendingOv = asm, ov
 
 	if err := s.enterStage(StageMerge); err != nil {
+		s.pendingAsm, s.pendingOv = nil, nil
+		s.discardMerge(asm, ov)
+		return nil, err
+	}
+	if err := failpoint.Hit(fpMerge); err != nil {
+		s.pendingAsm, s.pendingOv = nil, nil
 		s.discardMerge(asm, ov)
 		return nil, err
 	}
 	merged := s.finalMerge(asm, ov)
+	s.pendingAsm, s.pendingOv = nil, nil
 	s.leaveStage(StageMerge)
 
 	s.report.PartSize = len(merged)
@@ -541,8 +595,18 @@ func (s *sortRun[K]) partitionExchange(entries []comm.Entry[K], splitters []K) (
 		ov = newOverlapMerger(s, asm)
 		asm.OnRunComplete(ov.offer)
 	}
+	// sendDone carries the concurrent sender's result; the cleanup defer
+	// drains it if still outstanding, because recycling the assembly
+	// while sends are in flight would alias live exchange buffers.
+	var sendDone chan error
 	defer func() {
+		if r := recover(); r != nil {
+			err = recoverPanic(r)
+		}
 		if err != nil {
+			if sendDone != nil {
+				<-sendDone
+			}
 			if ov != nil {
 				ov.abort()
 			}
@@ -650,14 +714,15 @@ func (s *sortRun[K]) partitionExchange(entries []comm.Entry[K], splitters []K) (
 		}
 	} else {
 		// Paper behaviour: send while receiving, no barrier in between.
-		sendErr := make(chan error, 1)
-		go func() { sendErr <- sendAll() }()
+		sendDone = make(chan error, 1)
+		go func() { sendDone <- sendAll() }()
 		if err := recvAll(); err != nil {
-			<-sendErr
-			return nil, nil, err
+			return nil, nil, err // cleanup defer drains sendDone
 		}
-		if err := <-sendErr; err != nil {
-			return nil, nil, err
+		sendErr := <-sendDone
+		sendDone = nil // drained; the cleanup defer must not block on it
+		if sendErr != nil {
+			return nil, nil, sendErr
 		}
 	}
 	if ov != nil {

@@ -233,6 +233,10 @@ type Report struct {
 	ResidentBytes int64
 	// SamplesPerProc is the per-processor sample count used (Figure 9/10).
 	SamplesPerProc int
+	// Attempts is how many times the scheduler ran this job before it
+	// succeeded: 1 is a clean run, 2+ means RetryPolicy re-ran Transient
+	// failures, 0 means the sort ran outside a scheduler (plain Sort).
+	Attempts int
 	// SendStall is the worst per-node slow-peer stall (time sends spent
 	// blocked on full transport windows); Reconnects and FramesResent
 	// total the connections re-established and frames retransmitted

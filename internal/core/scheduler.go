@@ -7,9 +7,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pgxsort/internal/comm"
+	"pgxsort/internal/dist"
+	"pgxsort/internal/transport"
 )
 
 // DefaultMaxInflight is how many datasets the scheduler admits at once
@@ -52,6 +55,50 @@ type SortManyOpts struct {
 	// once with unbounded concurrency — the pre-scheduler behaviour,
 	// kept as the benchmark baseline.
 	Naive bool
+	// Retry re-runs Transient-classed failures (see RetryPolicy). The
+	// zero value disables retries.
+	Retry RetryPolicy
+}
+
+// RetryPolicy makes the scheduler re-run jobs whose failure classifies
+// as FailTransient: an I/O deadline, an injected failpoint, a recovered
+// stage panic. Fatal and DataDependent failures never retry (they would
+// fail identically), and neither does a job whose context is already
+// dead. A retried job holds its admission slot across attempts — the
+// pipeline sees one long job, not a re-queued one — and each attempt
+// runs with a fresh stage controller, with the previous attempt's
+// pooled slabs already recycled by the engine's error path.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per job, including
+	// the first. <= 1 disables retries.
+	MaxAttempts int
+	// BaseBackoff is the sleep before the first retry; each further
+	// retry doubles it up to MaxBackoff. Both sleeps are jittered with
+	// the transport's backoff jitter (transport.Jitter), so a burst of
+	// failed jobs does not retry in lockstep. Defaults: 5ms base,
+	// 500ms max.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// JitterSeed seeds the backoff jitter (0 = a fixed default, fine
+	// for anything but tests wanting distinct schedules).
+	JitterSeed uint64
+	// Budget caps the total number of retries across the scheduler's
+	// lifetime, so a pathological batch cannot retry without bound.
+	// 0 means unlimited.
+	Budget int64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 5 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 500 * time.Millisecond
+	}
+	if p.JitterSeed == 0 {
+		p.JitterSeed = 0x9E3779B97F4A7C15
+	}
+	return p
 }
 
 // stageGates is the shared admission state of one scheduler: an admission
@@ -87,6 +134,9 @@ type Scheduler[K cmp.Ordered] struct {
 	mu       sync.Mutex
 	inflight int
 	peak     int
+
+	retries     atomic.Int64
+	budgetSpent atomic.Int64
 }
 
 // NewScheduler builds a scheduler over e. Zero fields of opts fall back
@@ -107,6 +157,67 @@ func (s *Scheduler[K]) PeakInflight() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.peak
+}
+
+// Retries reports how many retry attempts this scheduler has launched
+// over its lifetime (the pgxsortd_retries_total metric).
+func (s *Scheduler[K]) Retries() int64 { return s.retries.Load() }
+
+// takeRetryBudget claims one retry against the policy's lifetime
+// budget; false means the budget is exhausted.
+func (s *Scheduler[K]) takeRetryBudget(pol RetryPolicy) bool {
+	if pol.Budget <= 0 {
+		return true
+	}
+	for {
+		spent := s.budgetSpent.Load()
+		if spent >= pol.Budget {
+			return false
+		}
+		if s.budgetSpent.CompareAndSwap(spent, spent+1) {
+			return true
+		}
+	}
+}
+
+// runAttempts runs one job to completion under the retry policy: the
+// first attempt plus up to MaxAttempts-1 re-runs of Transient-classed
+// failures, with jittered exponential backoff between attempts. Every
+// attempt gets a fresh stage controller — the failed attempt's ctrl has
+// forfeited all its stages and must not be reused — while the caller's
+// admission slot is held throughout.
+func (s *Scheduler[K]) runAttempts(ctx context.Context, j job[K], idx int, gated bool, epoch time.Time, admitWait time.Duration) (*Result[K], error) {
+	pol := s.opts.Retry.withDefaults()
+	backoff := pol.BaseBackoff
+	// Per-job RNG stream: concurrent jobs retrying at once must not
+	// share a jitter sequence, or they back off in lockstep.
+	rng := dist.NewRNG(pol.JitterSeed + uint64(idx)*1000003)
+	for attempt := 1; ; attempt++ {
+		var ctrl *stageCtrl
+		if gated {
+			ctrl = newStageCtrl(ctx, s.gates, s.eng.opts.Procs, epoch, admitWait)
+		}
+		res, err := s.eng.sortOne(ctx, j, ctrl)
+		if err == nil {
+			res.Report.Attempts = attempt
+			return res, nil
+		}
+		if attempt >= pol.MaxAttempts || Classify(err) != FailTransient || ctx.Err() != nil {
+			return nil, err
+		}
+		if !s.takeRetryBudget(pol) {
+			return nil, fmt.Errorf("core: retry budget exhausted after %d attempts: %w", attempt, err)
+		}
+		select {
+		case <-time.After(transport.Jitter(backoff, rng.Uint64())):
+		case <-ctx.Done():
+			return nil, err
+		}
+		if backoff *= 2; backoff > pol.MaxBackoff {
+			backoff = pol.MaxBackoff
+		}
+		s.retries.Add(1)
+	}
 }
 
 func (s *Scheduler[K]) noteAdmit(delta int) {
@@ -214,11 +325,7 @@ func (s *Scheduler[K]) runJobs(ctx context.Context, jobs []job[K]) ([]*Result[K]
 					<-s.gates.admit
 				}
 			}()
-			var ctrl *stageCtrl
-			if gated {
-				ctrl = newStageCtrl(ctx, s.gates, s.eng.opts.Procs, epoch, admitWait)
-			}
-			res, err := s.eng.sortOne(ctx, jobs[idx], ctrl)
+			res, err := s.runAttempts(ctx, jobs[idx], idx, gated, epoch, admitWait)
 			if err != nil {
 				errs[idx] = fmt.Errorf("dataset %d: %w", idx, err)
 				return

@@ -12,7 +12,15 @@ import (
 
 	"pgxsort/internal/alloc"
 	"pgxsort/internal/comm"
+	"pgxsort/internal/failpoint"
 )
+
+// fpWrite is the failpoint site covering exchange assembly: it fires in
+// Write, on the receiving node's goroutine, while peer chunks and the
+// concurrent sender are in flight — the messiest spot to unwind from.
+// Panic schedules are downgraded to errors here (HitNoPanic): an unwind
+// past the exchange's concurrent sender would strand it.
+const fpWrite = "datamgr/assembly-write"
 
 // Manager holds one processor's buffer policy and memory tracker.
 type Manager struct {
@@ -161,6 +169,9 @@ func NewAssemblyBuf[K any](m *Manager, perSrc []int, entryBytes int, buf []comm.
 // same source must arrive in order (the transports guarantee per-pair
 // FIFO); chunks from different sources may be written concurrently.
 func (a *Assembly[K]) Write(src int, chunk []comm.Entry[K]) error {
+	if err := failpoint.HitNoPanic(fpWrite); err != nil {
+		return err
+	}
 	if src < 0 || src >= len(a.cursor) {
 		return fmt.Errorf("datamgr: source %d out of range", src)
 	}

@@ -1,0 +1,157 @@
+package failpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestUnarmedSiteIsSilent(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Hit("nowhere"); err != nil {
+		t.Fatalf("unarmed Hit returned %v", err)
+	}
+	if Active() {
+		t.Fatal("Active with nothing armed")
+	}
+}
+
+func TestErrorScheduleFiresAtNthForCount(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Set("a", Schedule{Mode: ModeError, Nth: 3, Count: 2})
+	var got []bool
+	for i := 0; i < 6; i++ {
+		got = append(got, Hit("a") != nil)
+	}
+	want := []bool{false, false, true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d: fired=%v want %v (all %v)", i+1, got[i], want[i], got)
+		}
+	}
+	if Fired("a") != 2 {
+		t.Fatalf("Fired = %d, want 2", Fired("a"))
+	}
+	if Active() {
+		t.Fatal("spent schedule should disarm the site")
+	}
+}
+
+func TestInjectedErrorWrapsSentinel(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Set("b", Schedule{Mode: ModeError})
+	err := Hit("b")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected error %v does not wrap ErrInjected", err)
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Site != "b" {
+		t.Fatalf("injected error %v does not carry its site", err)
+	}
+}
+
+func TestPanicModeAndNoPanicDowngrade(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Set("p", Schedule{Mode: ModePanic})
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("ModePanic did not panic")
+			}
+			if fe, ok := r.(*Error); !ok || fe.Site != "p" {
+				t.Fatalf("panic value %v is not the site's *Error", r)
+			}
+		}()
+		Hit("p")
+	}()
+	Set("p", Schedule{Mode: ModePanic})
+	if err := HitNoPanic("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("HitNoPanic should downgrade panic to error, got %v", err)
+	}
+}
+
+func TestDelayMode(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Set("d", Schedule{Mode: ModeDelay, Delay: 10 * time.Millisecond})
+	start := time.Now()
+	if err := Hit("d"); err != nil {
+		t.Fatalf("delay mode returned error %v", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("delay mode slept %v, want >= 10ms", d)
+	}
+}
+
+func TestConfigureSpec(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Configure("x:error:2, y:delay , z:panic:1:3"); err != nil {
+		t.Fatalf("Configure: %v", err)
+	}
+	want := []string{"x", "y", "z"}
+	got := Sites()
+	if len(got) != len(want) {
+		t.Fatalf("Sites = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sites = %v, want %v", got, want)
+		}
+	}
+	if err := Hit("x"); err != nil {
+		t.Fatalf("x should not fire on hit 1: %v", err)
+	}
+	if err := Hit("x"); err == nil {
+		t.Fatal("x should fire on hit 2")
+	}
+}
+
+func TestConfigureRejectsBadSpecs(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	for _, spec := range []string{"x", "x:frob", "x:error:zero", "x:error:0", "x:error:1:0", "x:error:1:2:3"} {
+		if err := Configure(spec); err == nil {
+			t.Fatalf("Configure(%q) accepted a bad spec", spec)
+		}
+	}
+}
+
+func TestClearAndReset(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Set("c", Schedule{Mode: ModeError, Count: -1})
+	if Hit("c") == nil {
+		t.Fatal("armed site did not fire")
+	}
+	Clear("c")
+	if Hit("c") != nil {
+		t.Fatal("cleared site still fires")
+	}
+	if Fired("c") != 1 {
+		t.Fatalf("Clear should keep the fired counter, got %d", Fired("c"))
+	}
+	Reset()
+	if Fired("c") != 0 {
+		t.Fatalf("Reset should zero counters, got %d", Fired("c"))
+	}
+}
+
+func TestUnlimitedCount(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Set("u", Schedule{Mode: ModeError, Count: -1})
+	for i := 0; i < 5; i++ {
+		if Hit("u") == nil {
+			t.Fatalf("unlimited schedule stopped firing at hit %d", i+1)
+		}
+	}
+	if FiredTotal() != 5 {
+		t.Fatalf("FiredTotal = %d, want 5", FiredTotal())
+	}
+}

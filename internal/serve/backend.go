@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"pgxsort/internal/comm"
@@ -31,6 +32,13 @@ type backend interface {
 	// canonical sorted bytes. recbytes > 0 attaches that much opaque
 	// payload ballast per key and takes the record path.
 	sort(ctx context.Context, raw []byte, recbytes int) ([]byte, core.Report, error)
+	// sortSingle is the degraded path: the same dataset on a lazily
+	// built single-node engine that touches no mesh. The breaker routes
+	// here when the distributed engine's links are presumed dead.
+	sortSingle(ctx context.Context, raw []byte, recbytes int) ([]byte, core.Report, error)
+	// retries reports the lifetime transient-failure retries performed
+	// by this backend's schedulers (mesh plus fallback).
+	retries() int64
 	// topk answers a top-k / bottom-k query without a full merge.
 	topk(raw []byte, k int, bottom bool) (*topkAnswer, error)
 	// rank counts keys below and equal to target (given as a string).
@@ -59,9 +67,22 @@ type rankAnswer struct {
 // handful of per-type closures (encode/decode/parse/format/generate).
 type typedBackend[K cmp.Ordered] struct {
 	kt    dist.KeyType
+	cfg   Config
 	eng   *core.Engine[K]
 	sched *core.Scheduler[K]
 	procs int
+	// mk rebuilds an engine of this key type from fresh options — the
+	// degraded path uses it to construct the single-node fallback with
+	// the same codec the mesh engine got.
+	mk func(core.Options) (*core.Engine[K], error)
+
+	// The single-node fallback engine, built on first use (most servers
+	// never see a fatal mesh failure, so it costs nothing until then).
+	fbMu    sync.Mutex
+	fbBuilt bool
+	fb      *core.Engine[K]
+	fbSched *core.Scheduler[K]
+	fbErr   error
 
 	enc    func([]K) []byte
 	dec    func([]byte) ([]K, error)
@@ -77,16 +98,13 @@ type typedBackend[K cmp.Ordered] struct {
 // both plain key sorts and recbytes record sorts; the engine unwraps the
 // key codec for the radix fast path either way.
 func newBackend(kt dist.KeyType, cfg Config) (backend, error) {
-	opts := cfg.engineOptions()
 	switch kt {
 	case dist.KeyUint64:
-		eng, err := core.NewEngine[uint64](opts, comm.NewRecordCodec[uint64](comm.U64Codec{}))
-		if err != nil {
-			return nil, fmt.Errorf("serve: %s engine: %w", kt, err)
-		}
-		return &typedBackend[uint64]{
-			kt: kt, eng: eng, sched: core.NewScheduler(eng, core.SortManyOpts{}),
-			procs:  eng.Options().Procs,
+		b := &typedBackend[uint64]{
+			kt: kt, cfg: cfg,
+			mk: func(o core.Options) (*core.Engine[uint64], error) {
+				return core.NewEngine[uint64](o, comm.NewRecordCodec[uint64](comm.U64Codec{}))
+			},
 			enc:    keyio.EncodeUint64s,
 			dec:    keyio.DecodeUint64s,
 			parse:  parseU64,
@@ -94,15 +112,14 @@ func newBackend(kt dist.KeyType, cfg Config) (backend, error) {
 			less:   func(a, b uint64) bool { return a < b },
 			gen:    func(g dist.Gen, n int, _ string) []uint64 { return g.Keys(n) },
 			fromJS: jsonU64,
-		}, nil
-	case dist.KeyFloat64:
-		eng, err := core.NewEngine[float64](opts, comm.NewRecordCodec[float64](comm.F64Codec{}))
-		if err != nil {
-			return nil, fmt.Errorf("serve: %s engine: %w", kt, err)
 		}
-		return &typedBackend[float64]{
-			kt: kt, eng: eng, sched: core.NewScheduler(eng, core.SortManyOpts{}),
-			procs:  eng.Options().Procs,
+		return initBackend(b, cfg)
+	case dist.KeyFloat64:
+		b := &typedBackend[float64]{
+			kt: kt, cfg: cfg,
+			mk: func(o core.Options) (*core.Engine[float64], error) {
+				return core.NewEngine[float64](o, comm.NewRecordCodec[float64](comm.F64Codec{}))
+			},
 			enc:    keyio.EncodeFloat64s,
 			dec:    keyio.DecodeFloat64s,
 			parse:  parseF64,
@@ -110,15 +127,14 @@ func newBackend(kt dist.KeyType, cfg Config) (backend, error) {
 			less:   keyio.F64TotalLess,
 			gen:    func(g dist.Gen, n int, _ string) []float64 { return g.Floats(n) },
 			fromJS: jsonF64,
-		}, nil
-	case dist.KeyString:
-		eng, err := core.NewEngine[string](opts, comm.NewRecordCodec[string](comm.StringCodec{}))
-		if err != nil {
-			return nil, fmt.Errorf("serve: %s engine: %w", kt, err)
 		}
-		return &typedBackend[string]{
-			kt: kt, eng: eng, sched: core.NewScheduler(eng, core.SortManyOpts{}),
-			procs:  eng.Options().Procs,
+		return initBackend(b, cfg)
+	case dist.KeyString:
+		b := &typedBackend[string]{
+			kt: kt, cfg: cfg,
+			mk: func(o core.Options) (*core.Engine[string], error) {
+				return core.NewEngine[string](o, comm.NewRecordCodec[string](comm.StringCodec{}))
+			},
 			enc:    keyio.EncodeStrings,
 			dec:    keyio.DecodeStrings,
 			parse:  func(s string) (string, error) { return s, nil },
@@ -126,10 +142,23 @@ func newBackend(kt dist.KeyType, cfg Config) (backend, error) {
 			less:   func(a, b string) bool { return a < b },
 			gen:    func(g dist.Gen, n int, prefix string) []string { return g.Strings(n, prefix) },
 			fromJS: jsonStr,
-		}, nil
+		}
+		return initBackend(b, cfg)
 	default:
 		return nil, fmt.Errorf("serve: unknown key type %q", kt)
 	}
+}
+
+// initBackend builds the mesh engine and scheduler common to every case.
+func initBackend[K cmp.Ordered](b *typedBackend[K], cfg Config) (backend, error) {
+	eng, err := b.mk(cfg.engineOptions())
+	if err != nil {
+		return nil, fmt.Errorf("serve: %s engine: %w", b.kt, err)
+	}
+	b.eng = eng
+	b.sched = core.NewScheduler(eng, core.SortManyOpts{Retry: cfg.retryPolicy()})
+	b.procs = eng.Options().Procs
+	return b, nil
 }
 
 func (b *typedBackend[K]) keyType() dist.KeyType { return b.kt }
@@ -159,6 +188,64 @@ func (b *typedBackend[K]) generate(g dist.Gen, n int, prefix string) []byte {
 }
 
 func (b *typedBackend[K]) sort(ctx context.Context, raw []byte, recbytes int) ([]byte, core.Report, error) {
+	return b.sortOn(ctx, b.sched, b.procs, raw, recbytes)
+}
+
+// sortSingle runs the dataset on the single-node fallback engine. Every
+// dataset the daemon admits already lives in this process's memory, so
+// "fits on one node" is a policy question (Config.FallbackKeys), decided
+// by the caller — here we just run it.
+func (b *typedBackend[K]) sortSingle(ctx context.Context, raw []byte, recbytes int) ([]byte, core.Report, error) {
+	sched, err := b.fallback()
+	if err != nil {
+		return nil, core.Report{}, err
+	}
+	return b.sortOn(ctx, sched, 1, raw, recbytes)
+}
+
+// fallback lazily builds the degraded single-node engine: one proc, the
+// in-process transport, no fault plan — nothing that can touch the
+// (presumed dead) mesh. The mesh engine's whole worker budget moves onto
+// the one node so local sort and merge keep their parallelism.
+func (b *typedBackend[K]) fallback() (*core.Scheduler[K], error) {
+	b.fbMu.Lock()
+	defer b.fbMu.Unlock()
+	if !b.fbBuilt {
+		b.fbBuilt = true
+		o := core.Options{
+			Procs:       1,
+			BufferBytes: b.cfg.BufferBytes,
+			LocalSort:   b.cfg.LocalSort,
+			Merge:       b.cfg.Merge,
+			MaxInflight: b.cfg.MaxInflight,
+		}
+		if b.cfg.Workers > 0 {
+			o.WorkersPerProc = b.cfg.Workers * b.procs
+		}
+		eng, err := b.mk(o)
+		if err != nil {
+			b.fbErr = fmt.Errorf("serve: %s fallback engine: %w", b.kt, err)
+		} else {
+			b.fb = eng
+			b.fbSched = core.NewScheduler(eng, core.SortManyOpts{Retry: b.cfg.retryPolicy()})
+		}
+	}
+	return b.fbSched, b.fbErr
+}
+
+func (b *typedBackend[K]) retries() int64 {
+	n := b.sched.Retries()
+	b.fbMu.Lock()
+	if b.fbSched != nil {
+		n += b.fbSched.Retries()
+	}
+	b.fbMu.Unlock()
+	return n
+}
+
+// sortOn is the shared sort body: decode, split into procs blocks, run
+// through the given scheduler, re-encode.
+func (b *typedBackend[K]) sortOn(ctx context.Context, sched *core.Scheduler[K], procs int, raw []byte, recbytes int) ([]byte, core.Report, error) {
 	keys, err := b.dec(raw)
 	if err != nil {
 		return nil, core.Report{}, err
@@ -168,7 +255,7 @@ func (b *typedBackend[K]) sort(ctx context.Context, raw []byte, recbytes int) ([
 		// Record path: opaque zero-byte ballast rides each key through
 		// exchange and merge, exercising the payload wire format and the
 		// service's bandwidth cost without inventing a record schema.
-		parts := blocks(keys, b.procs)
+		parts := blocks(keys, procs)
 		recs := make([][]comm.Record[K], len(parts))
 		for i, part := range parts {
 			rp := make([]comm.Record[K], len(part))
@@ -178,9 +265,9 @@ func (b *typedBackend[K]) sort(ctx context.Context, raw []byte, recbytes int) ([
 			}
 			recs[i] = rp
 		}
-		res, err = b.sched.RunOneRecords(ctx, recs)
+		res, err = sched.RunOneRecords(ctx, recs)
 	} else {
-		res, err = b.sched.RunOne(ctx, blocks(keys, b.procs))
+		res, err = sched.RunOne(ctx, blocks(keys, procs))
 	}
 	if err != nil {
 		return nil, core.Report{}, err
@@ -232,7 +319,17 @@ func (b *typedBackend[K]) rank(raw []byte, target string) (*rankAnswer, error) {
 	return ans, nil
 }
 
-func (b *typedBackend[K]) close() error { return b.eng.Close() }
+func (b *typedBackend[K]) close() error {
+	err := b.eng.Close()
+	b.fbMu.Lock()
+	defer b.fbMu.Unlock()
+	if b.fb != nil {
+		if ferr := b.fb.Close(); err == nil {
+			err = ferr
+		}
+	}
+	return err
+}
 
 // blocks splits data into p contiguous parts, sizes differing by at most
 // one — the same block distribution the CLI and facade use.

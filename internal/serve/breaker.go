@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-keytype circuit breaker over the distributed mesh.
+// Fatal mesh failures (core.FailFatal — a peer link that redial could not
+// resurrect) increment a consecutive-failure streak; at Threshold the
+// breaker opens and sorts are routed to the single-node fallback engine
+// instead of burning their deadline against a dead mesh. After Cooldown
+// one request is let through as a half-open probe: success closes the
+// breaker, another fatal failure re-opens it and restarts the clock.
+//
+// Only Fatal failures count. Transient failures are the scheduler's
+// business (it retries them), and data-dependent ones would fail on the
+// fallback too.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    breakerState
+	consec   int   // consecutive fatal mesh failures
+	opens    int64 // lifetime open transitions
+	openedAt time.Time
+}
+
+type breakerState int
+
+const (
+	breakerClosed   breakerState = 0 // mesh healthy
+	breakerOpen     breakerState = 1 // mesh presumed dead; fallback
+	breakerHalfOpen breakerState = 2 // one probe in flight
+)
+
+func (st breakerState) String() string {
+	switch st {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// routeDecision is breaker.route's verdict for one request.
+type routeDecision int
+
+const (
+	routeMesh     routeDecision = iota // breaker closed: normal path
+	routeProbe    routeDecision = iota // half-open: this request probes the mesh
+	routeFallback                      // open: go straight to single-node
+)
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// route decides where the next sort goes. At most one request holds the
+// half-open probe at a time; the rest stay on the fallback until the
+// probe reports back via onSuccess / onFatal / onOther.
+func (b *breaker) route() routeDecision {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return routeMesh
+	case breakerHalfOpen:
+		return routeFallback
+	default: // open
+		if time.Since(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			return routeProbe
+		}
+		return routeFallback
+	}
+}
+
+// onSuccess reports a mesh sort that completed: the mesh works, so any
+// state (including a half-open probe) collapses back to closed.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.consec = 0
+	b.mu.Unlock()
+}
+
+// onFatal reports a mesh sort that died with a Fatal failure. A failed
+// probe re-opens immediately; in closed state the streak must reach the
+// threshold first.
+func (b *breaker) onFatal() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consec++
+	if b.state == breakerHalfOpen || b.consec >= b.threshold {
+		if b.state != breakerOpen {
+			b.opens++
+		}
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+	}
+}
+
+// onOther reports a mesh sort that failed for a non-fatal reason
+// (deadline, cancel, data-dependent). It does not advance the streak,
+// but a half-open probe that did not prove the mesh healthy goes back to
+// open — without it the probe slot would leak and every request would
+// route to the mesh again.
+func (b *breaker) onOther() {
+	b.mu.Lock()
+	if b.state == breakerHalfOpen {
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+	}
+	b.mu.Unlock()
+}
+
+// snapshot reads the gauges for /metrics and /readyz.
+func (b *breaker) snapshot() (state breakerState, consec int, opens int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.consec, b.opens
+}

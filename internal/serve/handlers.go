@@ -14,10 +14,26 @@ import (
 
 	"pgxsort/internal/core"
 	"pgxsort/internal/dist"
+	"pgxsort/internal/failpoint"
 )
 
 // The HTTP surface. Request and response schemas are documented in
 // docs/API.md; this file is their single implementation.
+
+// StatusClientClosedRequest is nginx's 499: the client went away before
+// the answer existed. Distinguishing it from 504 keeps deadline alerts
+// honest — a disconnecting client is not a slow server.
+const StatusClientClosedRequest = 499
+
+// The service-layer failpoint sites (see internal/failpoint): fpAdmission
+// refuses a job at the front door exactly like a drain would, fpCachePut
+// drops the result-cache insert after a successful sort. Both use
+// HitNoPanic — an unwind inside an HTTP handler would be swallowed by
+// net/http's recover and hide the injection.
+const (
+	fpAdmission = "serve/admission"
+	fpCachePut  = "serve/cache-put"
+)
 
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
@@ -103,6 +119,7 @@ type sortResponse struct {
 	KeyType   string         `json:"key_type"`
 	N         int            `json:"n"`
 	Cached    bool           `json:"cached"`
+	Degraded  bool           `json:"degraded,omitempty"`
 	ElapsedMS float64        `json:"elapsed_ms"`
 	KeysB64   string         `json:"keys_b64"`
 	Report    *reportSummary `json:"report,omitempty"`
@@ -281,12 +298,12 @@ func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
 		if sorted, cn, ok := s.cache.get(ckey); ok {
 			s.met.jobDone("sort", "200", time.Since(start))
 			log(http.StatusOK, nil, true, nil)
-			s.writeSorted(w, r, binary, id, b, sorted, cn, true, start, nil)
+			s.writeSorted(w, r, binary, id, b, sorted, cn, true, false, start, nil)
 			return
 		}
 	}
 
-	sorted, rep, status, runErr := s.runSort(r, b, req, raw)
+	sorted, rep, degraded, status, runErr := s.runSort(r, b, req, raw, n)
 	if runErr != nil {
 		s.met.jobDone("sort", strconv.Itoa(status), time.Since(start))
 		if status == http.StatusTooManyRequests {
@@ -297,48 +314,102 @@ func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !req.NoCache {
-		s.cache.put(ckey, sorted, n)
+		if ferr := failpoint.HitNoPanic(fpCachePut); ferr == nil {
+			s.cache.put(ckey, sorted, n)
+		}
 	}
 	s.met.jobDone("sort", "200", time.Since(start))
 	log(http.StatusOK, nil, false, &rep)
-	s.writeSorted(w, r, binary, id, b, sorted, n, false, start, &rep)
+	s.writeSorted(w, r, binary, id, b, sorted, n, false, degraded, start, &rep)
 }
 
 // runSort takes one resolved dataset through admission and the engine.
-func (s *Server) runSort(r *http.Request, b backend, req *sortRequest, raw []byte) (sorted []byte, rep core.Report, status int, err error) {
+// degraded reports the job ran on the single-node fallback because the
+// keytype's breaker considers the mesh dead (or it died under this very
+// job and the fallback rescued the answer in-request).
+func (s *Server) runSort(r *http.Request, b backend, req *sortRequest, raw []byte, n int) (sorted []byte, rep core.Report, degraded bool, status int, err error) {
 	// Counting into jobsWG before re-checking draining closes the race
 	// with Close: either Close sees our count and waits, or we see its
 	// draining flag and refuse.
 	s.jobsWG.Add(1)
 	defer s.jobsWG.Done()
 	if s.draining.Load() {
-		return nil, rep, http.StatusServiceUnavailable, errors.New("server is draining")
+		return nil, rep, false, http.StatusServiceUnavailable, errors.New("server is draining")
+	}
+	if ferr := failpoint.HitNoPanic(fpAdmission); ferr != nil {
+		return nil, rep, false, http.StatusServiceUnavailable, fmt.Errorf("admission refused: %w", ferr)
 	}
 	ctx, cancel := s.jobCtx(r, req.DeadlineMS)
 	defer cancel()
 	release, st := s.adm.begin(ctx, req.Tenant)
 	switch st {
 	case admitQueueFull:
-		return nil, rep, http.StatusTooManyRequests, errors.New("admission queue is full; retry later")
+		return nil, rep, false, http.StatusTooManyRequests, errors.New("admission queue is full; retry later")
 	case admitDeadline:
-		return nil, rep, http.StatusGatewayTimeout, fmt.Errorf("deadline expired waiting for tenant slot: %v", ctx.Err())
+		if errors.Is(ctx.Err(), context.Canceled) {
+			return nil, rep, false, StatusClientClosedRequest, fmt.Errorf("client went away waiting for tenant slot: %w", ctx.Err())
+		}
+		return nil, rep, false, http.StatusGatewayTimeout, fmt.Errorf("deadline expired waiting for tenant slot: %v", ctx.Err())
 	}
 	defer release()
 	s.met.jobStart()
 	defer s.met.jobEnd()
-	sorted, rep, err = b.sort(ctx, raw, req.RecBytes)
-	if err != nil {
-		if errors.Is(err, context.DeadlineExceeded) {
-			return nil, rep, http.StatusGatewayTimeout, fmt.Errorf("job deadline exceeded: %w", err)
+
+	br := s.breakers[b.keyType()]
+	canFallback := s.cfg.FallbackKeys >= 0 && n <= s.cfg.FallbackKeys
+	route := br.route()
+	if route == routeFallback && canFallback {
+		sorted, rep, err = b.sortSingle(ctx, raw, req.RecBytes)
+		if err != nil {
+			status, err = sortStatus(err)
+			return nil, rep, false, status, err
 		}
-		return nil, rep, http.StatusInternalServerError, fmt.Errorf("sort failed: %w", err)
+		s.met.degradedJob()
+		s.met.absorb(&rep)
+		return sorted, rep, true, http.StatusOK, nil
 	}
-	s.met.absorb(&rep)
-	return sorted, rep, http.StatusOK, nil
+
+	// Mesh path: routeMesh, routeProbe — and routeFallback for a job too
+	// large to degrade, which has nowhere to go but the mesh.
+	sorted, rep, err = b.sort(ctx, raw, req.RecBytes)
+	if err == nil {
+		br.onSuccess()
+		s.met.absorb(&rep)
+		return sorted, rep, false, http.StatusOK, nil
+	}
+	class := core.Classify(err)
+	s.met.failure(class)
+	if class == core.FailFatal {
+		br.onFatal()
+		if canFallback && ctx.Err() == nil {
+			// The mesh died under this job. Rescue it in-request on the
+			// fallback instead of making the client eat a 500 and resubmit.
+			if fsorted, frep, ferr := b.sortSingle(ctx, raw, req.RecBytes); ferr == nil {
+				s.met.degradedJob()
+				s.met.absorb(&frep)
+				return fsorted, frep, true, http.StatusOK, nil
+			}
+		}
+	} else if route == routeProbe {
+		br.onOther()
+	}
+	status, err = sortStatus(err)
+	return nil, rep, false, status, err
+}
+
+// sortStatus maps one engine failure onto its HTTP status.
+func sortStatus(err error) (int, error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest, fmt.Errorf("client closed request: %w", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, fmt.Errorf("job deadline exceeded: %w", err)
+	}
+	return http.StatusInternalServerError, fmt.Errorf("sort failed: %w", err)
 }
 
 // writeSorted renders a finished sort in the shape the request used.
-func (s *Server) writeSorted(w http.ResponseWriter, r *http.Request, binary bool, id string, b backend, sorted []byte, n int, cached bool, start time.Time, rep *core.Report) {
+func (s *Server) writeSorted(w http.ResponseWriter, r *http.Request, binary bool, id string, b backend, sorted []byte, n int, cached, degraded bool, start time.Time, rep *core.Report) {
 	if binary {
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Header().Set("X-Pgxsortd-Job", id)
@@ -348,6 +419,9 @@ func (s *Server) writeSorted(w http.ResponseWriter, r *http.Request, binary bool
 			cacheHdr = "hit"
 		}
 		w.Header().Set("X-Pgxsortd-Cache", cacheHdr)
+		if degraded {
+			w.Header().Set("X-Pgxsortd-Degraded", "true")
+		}
 		w.Write(sorted)
 		return
 	}
@@ -356,6 +430,7 @@ func (s *Server) writeSorted(w http.ResponseWriter, r *http.Request, binary bool
 		KeyType:   string(b.keyType()),
 		N:         n,
 		Cached:    cached,
+		Degraded:  degraded,
 		ElapsedMS: ms(time.Since(start)),
 		KeysB64:   base64.StdEncoding.EncodeToString(sorted),
 	}
@@ -532,6 +607,9 @@ func runQuery[T any](s *Server, r *http.Request, req *sortRequest, run func() (T
 	case admitQueueFull:
 		return zero, http.StatusTooManyRequests, errors.New("admission queue is full; retry later")
 	case admitDeadline:
+		if errors.Is(ctx.Err(), context.Canceled) {
+			return zero, StatusClientClosedRequest, fmt.Errorf("client went away waiting for tenant slot: %w", ctx.Err())
+		}
 		return zero, http.StatusGatewayTimeout, fmt.Errorf("deadline expired waiting for tenant slot: %v", ctx.Err())
 	}
 	defer release()
@@ -555,6 +633,13 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
 		w.WriteHeader(http.StatusServiceUnavailable)
 		io.WriteString(w, "draining\n")
+		return
+	}
+	if s.Degraded() {
+		// Still 200: the service answers sorts (on the fallback), so a
+		// load balancer should keep it in rotation — but operators and
+		// probes can see the mesh is suspect.
+		io.WriteString(w, "degraded\n")
 		return
 	}
 	io.WriteString(w, "ready\n")

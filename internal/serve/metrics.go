@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pgxsort/internal/core"
+	"pgxsort/internal/dist"
 )
 
 // metrics aggregates per-job engine reports into service-lifetime
@@ -33,6 +34,9 @@ type metrics struct {
 	reconnects, framesResent int64
 	sendStallSec             float64
 	overlapSavedSec          float64
+
+	failures map[string]int64 // failure class -> engine sorts failed
+	degraded int64            // jobs answered on the single-node fallback
 }
 
 func newMetrics() *metrics {
@@ -41,7 +45,22 @@ func newMetrics() *metrics {
 		jobs:       make(map[string]int64),
 		rejected:   make(map[string]int64),
 		jobSeconds: make(map[string]float64),
+		failures:   make(map[string]int64),
 	}
+}
+
+// failure counts one engine sort that died, by failure class.
+func (m *metrics) failure(class core.FailureClass) {
+	m.mu.Lock()
+	m.failures[class.String()]++
+	m.mu.Unlock()
+}
+
+// degradedJob counts one sort answered on the single-node fallback.
+func (m *metrics) degradedJob() {
+	m.mu.Lock()
+	m.degraded++
+	m.mu.Unlock()
 }
 
 // jobStart / jobEnd bracket one executing job for the inflight gauge.
@@ -139,7 +158,33 @@ func (m *metrics) render(s *Server) string {
 	fmt.Fprintf(&b, "# HELP pgxsortd_transport_frames_resent_total Frames retransmitted after reconnects.\n# TYPE pgxsortd_transport_frames_resent_total counter\npgxsortd_transport_frames_resent_total %d\n", m.framesResent)
 	fmt.Fprintf(&b, "# HELP pgxsortd_transport_send_stall_seconds_total Worst-node send stall seconds, summed over sorts.\n# TYPE pgxsortd_transport_send_stall_seconds_total counter\npgxsortd_transport_send_stall_seconds_total %.6f\n", m.sendStallSec)
 	fmt.Fprintf(&b, "# HELP pgxsortd_merge_overlap_saved_seconds_total Merge seconds hidden inside the exchange window, summed over sorts.\n# TYPE pgxsortd_merge_overlap_saved_seconds_total counter\npgxsortd_merge_overlap_saved_seconds_total %.6f\n", m.overlapSavedSec)
+	fmt.Fprintf(&b, "# HELP pgxsortd_failures_total Engine sorts that failed, by failure class (see core.FailureClass).\n# TYPE pgxsortd_failures_total counter\n")
+	for _, k := range sortedKeys(m.failures) {
+		fmt.Fprintf(&b, "pgxsortd_failures_total{class=%q} %d\n", k, m.failures[k])
+	}
+	fmt.Fprintf(&b, "# HELP pgxsortd_degraded_jobs_total Sorts answered on the single-node fallback engine.\n# TYPE pgxsortd_degraded_jobs_total counter\npgxsortd_degraded_jobs_total %d\n", m.degraded)
 	m.mu.Unlock()
+
+	var retries int64
+	for _, bk := range s.backends {
+		retries += bk.retries()
+	}
+	fmt.Fprintf(&b, "# HELP pgxsortd_retries_total Transient engine failures retried by the schedulers.\n# TYPE pgxsortd_retries_total counter\npgxsortd_retries_total %d\n", retries)
+	kts := make([]string, 0, len(s.breakers))
+	for kt := range s.breakers {
+		kts = append(kts, string(kt))
+	}
+	sort.Strings(kts)
+	fmt.Fprintf(&b, "# HELP pgxsortd_breaker_state Mesh circuit-breaker state per key type: 0 closed, 1 open, 2 half-open.\n# TYPE pgxsortd_breaker_state gauge\n")
+	for _, kt := range kts {
+		st, _, _ := s.breakers[dist.KeyType(kt)].snapshot()
+		fmt.Fprintf(&b, "pgxsortd_breaker_state{key_type=%q} %d\n", kt, st)
+	}
+	fmt.Fprintf(&b, "# HELP pgxsortd_breaker_opens_total Breaker open transitions per key type.\n# TYPE pgxsortd_breaker_opens_total counter\n")
+	for _, kt := range kts {
+		_, _, opens := s.breakers[dist.KeyType(kt)].snapshot()
+		fmt.Fprintf(&b, "pgxsortd_breaker_opens_total{key_type=%q} %d\n", kt, opens)
+	}
 
 	hits, misses, evictions, bytes, entries, budget := s.cache.stats()
 	fmt.Fprintf(&b, "# HELP pgxsortd_cache_hits_total Sort results served from the content-hash cache.\n# TYPE pgxsortd_cache_hits_total counter\npgxsortd_cache_hits_total %d\n", hits)

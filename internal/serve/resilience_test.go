@@ -1,0 +1,332 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pgxsort/internal/failpoint"
+)
+
+// TestBreakerStateMachine pins the breaker's transitions: a fatal streak
+// opens it at the threshold, the cooldown admits exactly one half-open
+// probe, a failed probe re-opens, a successful one closes and resets.
+func TestBreakerStateMachine(t *testing.T) {
+	br := newBreaker(2, 50*time.Millisecond)
+	if br.route() != routeMesh {
+		t.Fatal("fresh breaker must route to the mesh")
+	}
+	br.onFatal()
+	if br.route() != routeMesh {
+		t.Fatal("one fatal below the threshold must keep the mesh")
+	}
+	br.onFatal()
+	if st, _, opens := br.snapshot(); st != breakerOpen || opens != 1 {
+		t.Fatalf("after threshold: state %v opens %d, want open/1", st, opens)
+	}
+	if br.route() != routeFallback {
+		t.Fatal("open breaker must route to the fallback")
+	}
+	time.Sleep(60 * time.Millisecond)
+	if br.route() != routeProbe {
+		t.Fatal("after the cooldown one request must probe")
+	}
+	if br.route() != routeFallback {
+		t.Fatal("while a probe is in flight everyone else stays on the fallback")
+	}
+	br.onFatal() // the probe failed
+	if st, _, _ := br.snapshot(); st != breakerOpen {
+		t.Fatalf("failed probe left state %v, want open", st)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if br.route() != routeProbe {
+		t.Fatal("second probe window never opened")
+	}
+	br.onSuccess()
+	if st, consec, _ := br.snapshot(); st != breakerClosed || consec != 0 {
+		t.Fatalf("successful probe left state %v streak %d, want closed/0", st, consec)
+	}
+	if br.route() != routeMesh {
+		t.Fatal("closed breaker must route to the mesh again")
+	}
+
+	// A non-fatal probe failure proves nothing: back to open.
+	br.onFatal()
+	br.onFatal()
+	time.Sleep(60 * time.Millisecond)
+	if br.route() != routeProbe {
+		t.Fatal("probe window after reopen never opened")
+	}
+	br.onOther()
+	if st, _, _ := br.snapshot(); st != breakerOpen {
+		t.Fatalf("inconclusive probe left state %v, want open", st)
+	}
+}
+
+// TestTransientFailureRetriedOverHTTP drives the whole self-healing path
+// end to end: a failpoint kills the first engine attempt, the scheduler
+// retries, and the client sees a clean 200 — full service, not degraded
+// — with the retry visible in /metrics.
+func TestTransientFailureRetriedOverHTTP(t *testing.T) {
+	failpoint.Reset()
+	t.Cleanup(failpoint.Reset)
+	_, ts := testServer(t, Config{})
+
+	failpoint.Set("core/exchange", failpoint.Schedule{Mode: failpoint.ModeError})
+	resp, body := postJSON(t, ts.URL+"/v1/sort", map[string]any{
+		"dist":     map[string]any{"kind": "uniform", "n": 20000, "seed": 7},
+		"no_cache": true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (%s), want 200 after a retried transient failure", resp.StatusCode, body)
+	}
+	var sr sortResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if sr.Degraded {
+		t.Fatal("a retried transient failure must not mark the answer degraded")
+	}
+	if fired := failpoint.Fired("core/exchange"); fired != 1 {
+		t.Fatalf("failpoint fired %d times, want 1", fired)
+	}
+	_, exposition := getBody(t, ts.URL+"/metrics")
+	if v := metricValue(t, exposition, "pgxsortd_retries_total"); v < 1 {
+		t.Fatalf("pgxsortd_retries_total = %v, want >= 1", v)
+	}
+	if v := metricValue(t, exposition, `pgxsortd_breaker_state{key_type="uint64"}`); v != 0 {
+		t.Fatalf("breaker state %v after a transient failure, want 0 (closed)", v)
+	}
+}
+
+// TestClientDisconnectAccountedAs499: a client that goes away while its
+// job waits for a tenant slot is a client problem, not a server timeout
+// — the job log and metrics must say 499, not 504.
+func TestClientDisconnectAccountedAs499(t *testing.T) {
+	failpoint.Reset()
+	t.Cleanup(failpoint.Reset)
+	_, ts := testServer(t, Config{TenantInflight: 1})
+
+	// Job 1 holds tenant t1's only slot for a while: every exchange
+	// failpoint hit sleeps, padding the engine run past the test's
+	// cancellation window.
+	failpoint.Set("core/exchange", failpoint.Schedule{
+		Mode: failpoint.ModeDelay, Delay: 700 * time.Millisecond, Count: -1,
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, _ := postJSON(t, ts.URL+"/v1/sort", map[string]any{
+			"tenant":   "t1",
+			"dist":     map[string]any{"kind": "uniform", "n": 5000, "seed": 1},
+			"no_cache": true,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("slot-holding job: status %d, want 200", resp.StatusCode)
+		}
+	}()
+
+	// Job 2, same tenant, blocks on the slot; its client disconnects.
+	time.Sleep(150 * time.Millisecond)
+	body, _ := json.Marshal(map[string]any{
+		"tenant":   "t1",
+		"dist":     map[string]any{"kind": "uniform", "n": 5000, "seed": 2},
+		"no_cache": true,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/sort", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := http.DefaultClient.Do(req); err == nil {
+		t.Fatal("cancelled request unexpectedly completed")
+	}
+
+	// The 499 lands once the handler goroutine notices; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, exposition := getBody(t, ts.URL+"/metrics")
+		if strings.Contains(exposition, `pgxsortd_jobs_total{endpoint="sort",status="499"}`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no 499-status job appeared in /metrics after a client disconnect")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	<-done
+}
+
+// TestServeFailpointSites covers the service-layer injection points: an
+// armed admission site refuses like a drain (503 + Retry-After), and an
+// armed cache-put site silently skips the result-cache insert.
+func TestServeFailpointSites(t *testing.T) {
+	failpoint.Reset()
+	t.Cleanup(failpoint.Reset)
+	_, ts := testServer(t, Config{})
+
+	failpoint.Set("serve/admission", failpoint.Schedule{Mode: failpoint.ModeError})
+	resp, body := postJSON(t, ts.URL+"/v1/sort", map[string]any{
+		"dist": map[string]any{"kind": "uniform", "n": 1000, "seed": 3},
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("armed admission site: status %d (%s), want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("injected 503 lacks Retry-After")
+	}
+
+	// Cache-put skip: the first successful sort must NOT be stored, so
+	// the identical second request is a miss; the second run's put goes
+	// through, making the third a hit.
+	failpoint.Set("serve/cache-put", failpoint.Schedule{Mode: failpoint.ModeError})
+	job := map[string]any{"dist": map[string]any{"kind": "uniform", "n": 1000, "seed": 3}}
+	cached := func(label string) bool {
+		t.Helper()
+		resp, body := postJSON(t, ts.URL+"/v1/sort", job)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d (%s)", label, resp.StatusCode, body)
+		}
+		var sr sortResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatalf("%s: decode: %v", label, err)
+		}
+		return sr.Cached
+	}
+	if cached("first") {
+		t.Fatal("first sort reported cached")
+	}
+	if cached("second") {
+		t.Fatal("second sort hit the cache although the put was injected away")
+	}
+	if !cached("third") {
+		t.Fatal("third sort missed: the uninjected second run must have cached")
+	}
+}
+
+// TestCacheEvictionUnderConcurrentWriters hammers the result cache from
+// many goroutines and checks the LRU accounting invariants hold: stored
+// bytes never exceed the budget, the byte gauge equals the sum of the
+// surviving entries, and evictions actually happened.
+func TestCacheEvictionUnderConcurrentWriters(t *testing.T) {
+	const budget = 64 << 10
+	c := newResultCache(budget)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 400; i++ {
+				size := 512 + rnd.Intn(4096)
+				key := hashJob("uint64", 0, []byte(fmt.Sprintf("w%d-i%d", w, i%50)))
+				if rnd.Intn(3) == 0 {
+					c.get(key)
+				} else {
+					c.put(key, make([]byte, size), size/8)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	hits, misses, evictions, bytes, entries, _ := c.stats()
+	if bytes > budget {
+		t.Fatalf("cache holds %d bytes, budget %d", bytes, budget)
+	}
+	if evictions == 0 {
+		t.Fatal("no evictions despite writing far past the budget")
+	}
+	// The byte gauge must equal the sum over surviving entries.
+	c.mu.Lock()
+	var sum int64
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		sum += int64(len(el.Value.(*cacheEntry).sorted))
+	}
+	if int64(c.lru.Len()) != entries {
+		t.Errorf("lru holds %d entries, stats said %d", c.lru.Len(), entries)
+	}
+	c.mu.Unlock()
+	if sum != bytes {
+		t.Fatalf("byte gauge %d != %d bytes actually stored", bytes, sum)
+	}
+	t.Logf("hits=%d misses=%d evictions=%d bytes=%d entries=%d", hits, misses, evictions, bytes, entries)
+}
+
+// TestAdmissionFairnessAcrossTenants: with tenant A's inflight cap
+// saturated, A's next job waits — but tenant B's jobs keep flowing
+// through the shared queue instead of queueing behind A.
+func TestAdmissionFairnessAcrossTenants(t *testing.T) {
+	adm := newAdmission(8, 1)
+
+	releaseA1, st := adm.begin(context.Background(), "A")
+	if st != admitOK {
+		t.Fatalf("A1: %v", st)
+	}
+	// A2 blocks on A's tenant slot.
+	a2done := make(chan admissionStatus, 1)
+	go func() {
+		release, st := adm.begin(context.Background(), "A")
+		if st == admitOK {
+			release()
+		}
+		a2done <- st
+	}()
+	time.Sleep(50 * time.Millisecond) // let A2 reach the tenant semaphore
+
+	// B sails through while A2 is parked.
+	start := time.Now()
+	releaseB, st := adm.begin(context.Background(), "B")
+	if st != admitOK {
+		t.Fatalf("B: %v", st)
+	}
+	if wait := time.Since(start); wait > 100*time.Millisecond {
+		t.Fatalf("tenant B waited %v behind tenant A's backlog", wait)
+	}
+	releaseB()
+
+	select {
+	case <-a2done:
+		t.Fatal("A2 admitted while A1 still held the tenant slot")
+	default:
+	}
+	releaseA1()
+	select {
+	case st := <-a2done:
+		if st != admitOK {
+			t.Fatalf("A2 after release: %v", st)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("A2 never admitted after A1 released its slot")
+	}
+
+	// And a saturated queue still answers queue-full immediately.
+	var rels []func()
+	for {
+		release, st := adm.begin(context.Background(), fmt.Sprintf("T%d", len(rels)))
+		if st != admitOK {
+			if st != admitQueueFull {
+				t.Fatalf("saturating queue: %v", st)
+			}
+			break
+		}
+		rels = append(rels, release)
+	}
+	if len(rels) != 8 {
+		t.Fatalf("queue admitted %d jobs, capacity 8", len(rels))
+	}
+	for _, r := range rels {
+		r()
+	}
+}

@@ -33,12 +33,15 @@ import (
 
 // Defaults for the zero Config fields.
 const (
-	DefaultTenantInflight = 2
-	DefaultQueueDepth     = 16
-	DefaultCacheBytes     = 64 << 20
-	DefaultJobTimeout     = 60 * time.Second
-	DefaultMaxKeys        = 50_000_000
-	DefaultRetryAfter     = 1 * time.Second
+	DefaultTenantInflight   = 2
+	DefaultQueueDepth       = 16
+	DefaultCacheBytes       = 64 << 20
+	DefaultJobTimeout       = 60 * time.Second
+	DefaultMaxKeys          = 50_000_000
+	DefaultRetryAfter       = 1 * time.Second
+	DefaultRetryAttempts    = 3
+	DefaultBreakerThreshold = 1
+	DefaultBreakerCooldown  = 30 * time.Second
 )
 
 // Config shapes one pgxsortd server. The zero value serves all three key
@@ -87,6 +90,23 @@ type Config struct {
 	// KeyTypes lists the key domains to build engines for (default all
 	// three: uint64, float64, string).
 	KeyTypes []dist.KeyType
+
+	// RetryAttempts is the per-job attempt cap the schedulers use for
+	// transient engine failures (core.RetryPolicy.MaxAttempts).
+	// Default 3; 1 disables retries.
+	RetryAttempts int
+	// BreakerThreshold is how many consecutive Fatal mesh failures open a
+	// keytype's circuit breaker (default 1: the first dead link degrades
+	// the service rather than failing a second job the same way).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before letting a
+	// half-open probe back onto the mesh. Default 30s.
+	BreakerCooldown time.Duration
+	// FallbackKeys caps how large a dataset may take the degraded
+	// single-node path when the breaker is open; bigger jobs fail with
+	// the mesh error instead. 0 means MaxKeys (everything the daemon
+	// accepts already fits in its memory); negative disables fallback.
+	FallbackKeys int
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +131,18 @@ func (c Config) withDefaults() Config {
 	if len(c.KeyTypes) == 0 {
 		c.KeyTypes = append([]dist.KeyType(nil), dist.KeyTypes...)
 	}
+	if c.RetryAttempts <= 0 {
+		c.RetryAttempts = DefaultRetryAttempts
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if c.FallbackKeys == 0 {
+		c.FallbackKeys = c.MaxKeys
+	}
 	return c
 }
 
@@ -121,6 +153,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg      Config
 	backends map[dist.KeyType]backend
+	breakers map[dist.KeyType]*breaker
 	adm      *admission
 	cache    *resultCache
 	met      *metrics
@@ -146,6 +179,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		backends: make(map[dist.KeyType]backend, len(cfg.KeyTypes)),
+		breakers: make(map[dist.KeyType]*breaker, len(cfg.KeyTypes)),
 		adm:      newAdmission(cfg.QueueDepth, cfg.TenantInflight),
 		cache:    newResultCache(cfg.CacheBytes),
 		met:      newMetrics(),
@@ -163,6 +197,7 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.backends[kt] = b
+		s.breakers[kt] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	}
 	s.mux = s.routes()
 	return s, nil
@@ -222,6 +257,24 @@ func (s *Server) backendFor(keyType string) (backend, error) {
 // jobID mints the next job identifier.
 func (s *Server) jobID() string {
 	return fmt.Sprintf("j-%06d", s.nextJob.Add(1))
+}
+
+// Degraded reports whether any keytype's breaker is not closed: the
+// service still answers sorts (on the single-node fallback) but the
+// distributed mesh is suspect. /readyz surfaces this as a "degraded"
+// body so operators see it without scraping /metrics.
+func (s *Server) Degraded() bool {
+	for _, br := range s.breakers {
+		if st, _, _ := br.snapshot(); st != breakerClosed {
+			return true
+		}
+	}
+	return false
+}
+
+// retryPolicy maps the service config onto the schedulers' retry knobs.
+func (c Config) retryPolicy() core.RetryPolicy {
+	return core.RetryPolicy{MaxAttempts: c.RetryAttempts}
 }
 
 // engineOptions maps the service config onto one engine's options.

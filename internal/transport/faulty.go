@@ -96,6 +96,9 @@ func WithFaults[K any](inner Network[K], plan FaultPlan) *Faulty[K] {
 
 func (f *Faulty[K]) P() int       { return f.inner.P() }
 func (f *Faulty[K]) Close() error { return f.inner.Close() }
+
+// Err forwards the inner network's terminal failure (see TerminalErr).
+func (f *Faulty[K]) Err() error { return TerminalErr[K](f.inner) }
 func (f *Faulty[K]) Name() string {
 	if f.plan.active() {
 		return f.inner.Name() + "+faults"

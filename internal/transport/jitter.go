@@ -8,6 +8,22 @@ import (
 	"pgxsort/internal/dist"
 )
 
+// Jitter spreads one backoff interval: the result lies in [3d/4, 5d/4),
+// drawn from rnd — any random word; callers pass a clock sample or an
+// RNG draw. Precision does not matter, de-synchronization does: the TCP
+// redialer and the scheduler's retry backoff share this helper so every
+// backoff in the stack desynchronizes restarting peers the same way.
+func Jitter(d time.Duration, rnd uint64) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	sleep := d - d/4
+	if half := d / 2; half > 0 {
+		sleep += time.Duration(rnd % uint64(half))
+	}
+	return sleep
+}
+
 // WithJitter wraps a network so every Send is delayed by a pseudo-random
 // duration in [0, maxDelay). Per-pair FIFO order is preserved (the delay
 // happens in the sender's goroutine before the inner send), but the global
@@ -36,7 +52,10 @@ type jitterNetwork[K any] struct {
 func (n *jitterNetwork[K]) P() int                     { return n.inner.P() }
 func (n *jitterNetwork[K]) Endpoint(i int) Endpoint[K] { return n.eps[i] }
 func (n *jitterNetwork[K]) Close() error               { return n.inner.Close() }
-func (n *jitterNetwork[K]) Name() string               { return n.inner.Name() + "+jitter" }
+
+// Err forwards the inner network's terminal failure (see TerminalErr).
+func (n *jitterNetwork[K]) Err() error   { return TerminalErr[K](n.inner) }
+func (n *jitterNetwork[K]) Name() string { return n.inner.Name() + "+jitter" }
 
 type jitterEndpoint[K any] struct {
 	inner Endpoint[K]

@@ -318,6 +318,17 @@ func (n *tcpNetwork[K]) fail(err error) {
 	go n.shutdown(err)
 }
 
+// Err reports the first permanent failure (a broken link) recorded on
+// this mesh, or nil while it is healthy — or merely Closed. The engine
+// uses it to attach the real cause (e.g. a *LinkError) to the generic
+// "network closed" its blocked receives observe, so failure
+// classification sees Fatal instead of Unknown.
+func (n *tcpNetwork[K]) Err() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.failErr
+}
+
 // closedErr is what Send/Close report once the network is down.
 func (n *tcpNetwork[K]) closedErr() error {
 	n.mu.Lock()
@@ -947,12 +958,7 @@ func (l *link[K]) ensureConn(lastErr error) bool {
 			l.declareBroken(&LinkError{Src: l.src, Dst: l.dst, Attempts: cycles, Err: lastErr})
 			return false
 		}
-		// Backoff with jitter: precision does not matter,
-		// de-synchronization of restarting peers does.
-		sleep := backoff - backoff/4
-		if half := backoff / 2; half > 0 {
-			sleep += time.Duration(time.Now().UnixNano()) % half
-		}
+		sleep := Jitter(backoff, uint64(time.Now().UnixNano()))
 		select {
 		case <-time.After(sleep):
 		case <-l.stopC:

@@ -60,6 +60,17 @@ const (
 	KindTCP  = "tcp"
 )
 
+// TerminalErr reports a network's recorded permanent failure when the
+// implementation exposes one (TCP's broken-link *LinkError); nil for
+// implementations that cannot fail permanently (chan) or that merely
+// closed. Wrapper networks forward it so the cause survives layering.
+func TerminalErr[K any](n Network[K]) error {
+	if te, ok := n.(interface{ Err() error }); ok {
+		return te.Err()
+	}
+	return nil
+}
+
 // New builds a network of p endpoints with the default Config. codec is
 // required for tcp and used only for byte accounting by chan.
 func New[K any](kind string, p int, codec comm.Codec[K]) (Network[K], error) {
