@@ -44,6 +44,8 @@ func main() {
 		overlap   = flag.String("overlap", "auto", "exchange–merge overlap for experiments that do not sweep it: auto, on, or off")
 		keytype   = flag.String("keytype", "", "restrict the keytypes experiment to one key domain: uint64, float64 or string (empty = sweep all)")
 		recBytes  = flag.Int("recbytes", 0, "payload bytes per key for the keytypes experiment's record points (0 = default sweep)")
+		memBudget = flag.String("mem-budget", "", "per-node temporary-memory budget for experiments that do not sweep it (e.g. 64M; the spill experiment sweeps its own)")
+		spillDir  = flag.String("spill-dir", "", "directory for spill run files (default: system temp dir)")
 	)
 	flag.Parse()
 
@@ -63,6 +65,10 @@ func main() {
 	}
 	if *recBytes < 0 {
 		fatal(fmt.Errorf("-recbytes must be >= 0, got %d", *recBytes))
+	}
+	budget, err := core.ParseMemBudget(*memBudget)
+	if err != nil {
+		fatal(err)
 	}
 
 	if *list {
@@ -91,6 +97,8 @@ func main() {
 		PeerAddrs:    tp.SplitAddrs(*peers),
 		KeyType:      ktype,
 		RecBytes:     *recBytes,
+		MemBudget:    budget,
+		SpillDir:     *spillDir,
 	}
 	if (len(cfg.ListenAddrs) > 0 || len(cfg.PeerAddrs) > 0) && *transport != "tcp" {
 		fatal(fmt.Errorf("-listen/-peers require -transport tcp"))

@@ -124,6 +124,8 @@ func cmdSort(args []string) error {
 	overlap := fs.String("overlap", "auto", "exchange–merge overlap: auto, on, or off (barriered ablation)")
 	keytype := fs.String("keytype", "uint64", "key type: uint64, float64 or string")
 	recBytes := fs.Int("recbytes", 0, "attach an N-byte synthetic payload per key (sorts through the record path)")
+	memBudget := fs.String("mem-budget", "", "per-node temporary-memory budget (e.g. 64M, 2G); sorts spill block-file runs to -spill-dir beyond it")
+	spillDir := fs.String("spill-dir", "", "directory for spill run files (default: system temp dir)")
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		return fmt.Errorf("sort: -in and -out required")
@@ -147,6 +149,10 @@ func cmdSort(args []string) error {
 	if err != nil {
 		return fmt.Errorf("sort: %w", err)
 	}
+	budget, err := pgxsort.ParseMemBudget(*memBudget)
+	if err != nil {
+		return fmt.Errorf("sort: %w", err)
+	}
 	opts := pgxsort.Options{
 		Procs:               *procs,
 		WorkersPerProc:      *workers,
@@ -156,6 +162,8 @@ func cmdSort(args []string) error {
 		DisableInvestigator: *noInv,
 		LocalSort:           lsMode,
 		Merge:               mergeMode,
+		MemoryBudget:        budget,
+		SpillDir:            *spillDir,
 	}
 	var n int
 	switch kt {

@@ -121,6 +121,8 @@ func buildConfig(args []string) (addr string, cfg serve.Config, err error) {
 	brThreshold := fs.Int("breaker-threshold", 0, "consecutive fatal mesh failures that open the circuit breaker (0 = default 1)")
 	brCooldown := fs.Duration("breaker-cooldown", 0, "how long an open breaker waits before probing the mesh again (0 = default 30s)")
 	fallbackKeys := fs.Int("fallback-keys", 0, "largest job the degraded single-node fallback accepts (0 = max-keys, negative disables)")
+	memBudget := fs.String("mem-budget", "", "per-node temporary-memory budget (e.g. 64M, 2G); sorts spill block-file runs to -spill-dir beyond it")
+	spillDir := fs.String("spill-dir", "", "directory for spill run files (default: system temp dir)")
 	failpoints := fs.String("failpoints", "", "failpoint spec site:mode[:nth[:count]][,...] for fault drills (also via "+failpoint.EnvVar+")")
 	if err = fs.Parse(args); err != nil {
 		return "", cfg, err
@@ -147,7 +149,11 @@ func buildConfig(args []string) (addr string, cfg serve.Config, err error) {
 	cfg.BreakerThreshold = *brThreshold
 	cfg.BreakerCooldown = *brCooldown
 	cfg.FallbackKeys = *fallbackKeys
+	cfg.SpillDir = *spillDir
 
+	if cfg.MemoryBudget, err = pgxsort.ParseMemBudget(*memBudget); err != nil {
+		return "", cfg, err
+	}
 	if cfg.LocalSort, err = pgxsort.ParseLocalSortMode(*localSort); err != nil {
 		return "", cfg, err
 	}

@@ -505,6 +505,8 @@ func (e *Engine[K]) sortOne(ctx context.Context, j job[K], ctrl *stageCtrl) (*Re
 			rep.TempPeakBytes = nr.TempPeakBytes
 		}
 		rep.ResidentBytes += nr.ResidentBytes
+		rep.SpillBytes += nr.SpillBytes
+		rep.SpillReads += nr.SpillReads
 		if nr.SamplesSent > rep.SamplesPerProc {
 			rep.SamplesPerProc = nr.SamplesSent
 		}
@@ -520,6 +522,11 @@ func (e *Engine[K]) sortOne(ctx context.Context, j job[K], ctrl *stageCtrl) (*Re
 	rep.CommTime = rep.Steps[StepSampling] + rep.Steps[StepSplitters] + rep.Steps[StepExchange]
 	rep.LocalSortPath = cmps.path
 	rep.MergePath = e.opts.Merge.String()
+	if rep.SpillBytes > 0 {
+		// At least one node ran out-of-core under Options.MemoryBudget;
+		// flag it next to the configured strategy.
+		rep.MergePath += "+spill"
+	}
 	rep.Sched = ctrl.snapshot()
 
 	parts2 := make([][]comm.Entry[K], p)

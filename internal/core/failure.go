@@ -8,6 +8,7 @@ import (
 
 	"pgxsort/internal/comm"
 	"pgxsort/internal/failpoint"
+	"pgxsort/internal/spill"
 	"pgxsort/internal/transport"
 )
 
@@ -98,6 +99,14 @@ func Classify(err error) FailureClass {
 		return FailTransient
 	}
 	if errors.Is(err, comm.ErrFrameTooLarge) {
+		return FailDataDependent
+	}
+	if errors.Is(err, spill.ErrCorrupt) {
+		// A spill run file failed its checksum or structural validation:
+		// the bytes on disk are wrong and re-reading them reproduces the
+		// failure. (A retry that re-spills from memory may clear it, but
+		// the taxonomy is about the error as observed — same bytes, same
+		// failure — and silent rereads must never mask corruption.)
 		return FailDataDependent
 	}
 	return FailUnknown

@@ -4,6 +4,8 @@ import (
 	"cmp"
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 	"unsafe"
@@ -13,6 +15,7 @@ import (
 	"pgxsort/internal/failpoint"
 	"pgxsort/internal/lsort"
 	"pgxsort/internal/sample"
+	"pgxsort/internal/spill"
 	"pgxsort/internal/transport"
 )
 
@@ -35,12 +38,19 @@ type sortRun[K cmp.Ordered] struct {
 	// curStage is the last stage this node entered; a failure surfacing
 	// from run is attributed to it (core.Failure.Stage).
 	curStage SchedStage
-	// pendingAsm/pendingOv hold the completed exchange between
+	// pendingAsm/pendingSp/pendingOv hold the completed exchange between
 	// partitionExchange returning and finalMerge consuming it, so run's
 	// panic recovery can discard them (slabs back to the pool, merger
-	// goroutine joined) when the merge stage never runs.
+	// goroutine joined, spill files removed) when the merge stage never
+	// runs. Exactly one of pendingAsm/pendingSp is set after a
+	// successful exchange.
 	pendingAsm *datamgr.Assembly[K]
+	pendingSp  *datamgr.SpillAssembly[K]
 	pendingOv  *overlapMerger[K]
+	// spillDir is this run's private directory for spill run files,
+	// created lazily by spillScratchDir the first time a stage exceeds
+	// Options.MemoryBudget and removed when the run exits either way.
+	spillDir string
 
 	// Traffic counters are atomics, not a mutex: sends to different
 	// destinations run concurrently on the worker pool, and the exchange
@@ -333,15 +343,16 @@ func (s *sortRun[K]) run() (_ []comm.Entry[K], err error) {
 	s.markTransportBaseline()
 	defer s.leaveAllStages()
 	defer s.foldTraffic()
+	defer s.removeSpillDir()
 	// Innermost defer, so recovery runs before the traffic fold and the
 	// stage forfeits: a stage panic (an injected failpoint or a real
 	// bug) becomes this node's error instead of killing the process,
 	// and a completed-but-unmerged exchange gives its slabs back.
 	defer func() {
 		if r := recover(); r != nil {
-			if s.pendingAsm != nil {
-				s.discardMerge(s.pendingAsm, s.pendingOv)
-				s.pendingAsm, s.pendingOv = nil, nil
+			if s.pendingAsm != nil || s.pendingSp != nil {
+				s.discardMerge(s.pendingAsm, s.pendingSp, s.pendingOv)
+				s.pendingAsm, s.pendingSp, s.pendingOv = nil, nil, nil
 			}
 			err = recoverPanic(r)
 		}
@@ -350,7 +361,10 @@ func (s *sortRun[K]) run() (_ []comm.Entry[K], err error) {
 	if err := s.enterStage(StageLocalSort); err != nil {
 		return nil, err
 	}
-	entries := s.localSort()
+	entries, err := s.localSort()
+	if err != nil {
+		return nil, err
+	}
 	if err := failpoint.Hit(fpLocalSort); err != nil {
 		return nil, err
 	}
@@ -374,25 +388,28 @@ func (s *sortRun[K]) run() (_ []comm.Entry[K], err error) {
 	if err := failpoint.Hit(fpExchange); err != nil {
 		return nil, err
 	}
-	asm, ov, err := s.partitionExchange(entries, splitters)
+	asm, sp, ov, err := s.partitionExchange(entries, splitters)
 	if err != nil {
 		return nil, err
 	}
 	s.leaveStage(StageExchange)
-	s.pendingAsm, s.pendingOv = asm, ov
+	s.pendingAsm, s.pendingSp, s.pendingOv = asm, sp, ov
 
 	if err := s.enterStage(StageMerge); err != nil {
-		s.pendingAsm, s.pendingOv = nil, nil
-		s.discardMerge(asm, ov)
+		s.pendingAsm, s.pendingSp, s.pendingOv = nil, nil, nil
+		s.discardMerge(asm, sp, ov)
 		return nil, err
 	}
 	if err := failpoint.Hit(fpMerge); err != nil {
-		s.pendingAsm, s.pendingOv = nil, nil
-		s.discardMerge(asm, ov)
+		s.pendingAsm, s.pendingSp, s.pendingOv = nil, nil, nil
+		s.discardMerge(asm, sp, ov)
 		return nil, err
 	}
-	merged := s.finalMerge(asm, ov)
-	s.pendingAsm, s.pendingOv = nil, nil
+	merged, err := s.finalMerge(asm, sp, ov)
+	s.pendingAsm, s.pendingSp, s.pendingOv = nil, nil, nil
+	if err != nil {
+		return nil, err
+	}
 	s.leaveStage(StageMerge)
 
 	s.report.PartSize = len(merged)
@@ -405,13 +422,40 @@ func (s *sortRun[K]) run() (_ []comm.Entry[K], err error) {
 // (an error at the merge-stage boundary), on every strategy: under
 // MergeOverlap the streaming merger joins and returns its intermediate
 // slabs; on all paths — k-way included — the assembly's entry buffer goes
-// back to the pool so an error exit never strands a slab.
-func (s *sortRun[K]) discardMerge(asm *datamgr.Assembly[K], ov *overlapMerger[K]) {
+// back to the pool so an error exit never strands a slab. A spilled
+// exchange has no resident buffer; closing it removes its run files.
+func (s *sortRun[K]) discardMerge(asm *datamgr.Assembly[K], sp *datamgr.SpillAssembly[K], ov *overlapMerger[K]) {
 	if ov != nil {
 		ov.abort()
 	}
+	if sp != nil {
+		sp.Close()
+		return
+	}
 	asm.Release()
 	s.node.entryPool.Put(asm.Entries())
+}
+
+// spillScratchDir lazily creates this run's private spill directory
+// under Options.SpillDir (system temp dir when empty). removeSpillDir
+// deletes it — and every run file inside — when the run exits.
+func (s *sortRun[K]) spillScratchDir() (string, error) {
+	if s.spillDir != "" {
+		return s.spillDir, nil
+	}
+	dir, err := os.MkdirTemp(s.opts.SpillDir, "pgxsort-spill-*")
+	if err != nil {
+		return "", fmt.Errorf("core: create spill dir: %w", err)
+	}
+	s.spillDir = dir
+	return dir, nil
+}
+
+func (s *sortRun[K]) removeSpillDir() {
+	if s.spillDir != "" {
+		os.RemoveAll(s.spillDir)
+		s.spillDir = ""
+	}
 }
 
 // localSort is step 1: the parallel local sort. The comparison path is
@@ -421,7 +465,11 @@ func (s *sortRun[K]) discardMerge(asm *datamgr.Assembly[K], ov *overlapMerger[K]
 // Both paths draw the entry buffer and merge scratch from the node's
 // slab pool: scratch returns to the pool immediately, the entry buffer
 // once the whole sort joins (its subslices travel through the exchange).
-func (s *sortRun[K]) localSort() []comm.Entry[K] {
+// On the exact-norm radix path a full-size scratch that would blow
+// Options.MemoryBudget is replaced by spillSort: budget-sized chunks
+// sort in memory, spill to block files, and stream-merge back — the
+// same bytes, a fraction of the temporary memory.
+func (s *sortRun[K]) localSort() ([]comm.Entry[K], error) {
 	n := s.node
 	t0 := time.Now()
 	var entries []comm.Entry[K]
@@ -442,7 +490,20 @@ func (s *sortRun[K]) localSort() []comm.Entry[K] {
 	s.report.LocalSortPath = s.cmps.path
 	if len(entries) > 1 {
 		workers := s.opts.WorkersPerProc
-		if s.cmps.useRadix || workers > 1 {
+		budget := s.opts.MemoryBudget
+		switch {
+		case budget > 0 && s.cmps.useRadix && !s.cmps.fallback &&
+			int64(len(entries))*eb > budget:
+			// A full scratch buffer alone would exceed the budget. Only
+			// the exact-norm radix path spills here: its chunk sorts and
+			// the streaming merge are both stable, so the chunked result
+			// is byte-identical to the one-pass sort at any chunk size.
+			// (Inexact norms and the comparison path keep their in-memory
+			// sort; the exchange stage still spills for them.)
+			if err := s.spillSort(entries, eb); err != nil {
+				return nil, err
+			}
+		case s.cmps.useRadix || workers > 1:
 			scratch := n.entryPool.Get(len(entries))
 			n.tracker.Alloc(int64(len(scratch)) * eb)
 			if s.cmps.useRadix {
@@ -462,12 +523,98 @@ func (s *sortRun[K]) localSort() []comm.Entry[K] {
 			}
 			n.tracker.Free(int64(len(scratch)) * eb)
 			n.entryPool.Put(scratch)
-		} else {
+		default:
 			lsort.Quicksort(entries, s.cmps.entryLess)
 		}
 	}
 	s.report.Steps[StepLocalSort] = time.Since(t0)
-	return entries
+	return entries, nil
+}
+
+// spillSort sorts entries in place using at most ~MemoryBudget bytes of
+// temporary memory: it radix-sorts budget-sized chunks (chunk + scratch
+// together fit the budget), spills each sorted chunk to a block file,
+// then stream-merges the chunk runs back into the entries buffer. Every
+// stage is stable, so the result is byte-identical to the in-memory
+// ParallelRadixSort whatever the chunk size. Run files are removed as
+// soon as the merge drains them; the run's spill dir cleanup catches
+// any left behind by an error exit.
+func (s *sortRun[K]) spillSort(entries []comm.Entry[K], eb int64) error {
+	n := s.node
+	chunk := int(s.opts.MemoryBudget / (2 * eb))
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > len(entries) {
+		chunk = len(entries)
+	}
+	dir, err := s.spillScratchDir()
+	if err != nil {
+		return err
+	}
+	norm := s.cmps.norm
+	normOf := func(e comm.Entry[K]) uint64 { return norm(e.Key) }
+	workers := s.opts.WorkersPerProc
+
+	scratch := n.entryPool.Get(chunk)
+	n.tracker.Alloc(int64(chunk) * eb)
+	var paths []string
+	for lo := 0; lo < len(entries); lo += chunk {
+		hi := lo + chunk
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		part := entries[lo:hi]
+		lsort.ParallelRadixSort(part, scratch[:len(part)], normOf,
+			s.cmps.normBits, s.cmps.entryLess, workers)
+		w, werr := spill.NewWriter(filepath.Join(dir, fmt.Sprintf("lsort-%d.spill", len(paths))), s.codec, 0)
+		if werr == nil {
+			if werr = w.Append(part); werr == nil {
+				werr = w.Finish()
+			}
+		}
+		if werr != nil {
+			n.tracker.Free(int64(chunk) * eb)
+			n.entryPool.Put(scratch)
+			return werr
+		}
+		s.report.SpillBytes += w.BytesWritten()
+		paths = append(paths, w.Path())
+	}
+	n.tracker.Free(int64(chunk) * eb)
+	n.entryPool.Put(scratch)
+
+	// Stream the chunk runs back. The decoded batches are fresh slabs
+	// (never aliasing entries), so merging into the buffer the chunks
+	// were read from is safe.
+	readers := make([]*spill.RunReader[K], len(paths))
+	cursors := make([]lsort.Cursor[comm.Entry[K]], len(paths))
+	ropts := spill.ReaderOpts[K]{Pool: n.entryPool, Tracker: &n.tracker, EntryBytes: eb}
+	for i, p := range paths {
+		r, rerr := spill.NewRunReader(p, s.codec, ropts)
+		if rerr != nil {
+			for _, open := range readers[:i] {
+				open.Close()
+			}
+			return rerr
+		}
+		readers[i] = r
+		cursors[i] = r
+	}
+	filled, merr := lsort.MergeCursors(entries, cursors, s.cmps.entryLess)
+	for i, r := range readers {
+		s.report.SpillReads += r.BytesRead()
+		r.Close()
+		os.Remove(paths[i])
+	}
+	if merr != nil {
+		return merr
+	}
+	if filled != len(entries) {
+		return fmt.Errorf("core: spill merge produced %d of %d entries: %w",
+			filled, len(entries), spill.ErrCorrupt)
+	}
+	return nil
 }
 
 // splitterAgreement is steps 2-3: regular sampling, one buffer of samples
@@ -533,15 +680,27 @@ func (s *sortRun[K]) splitterAgreement(entries []comm.Entry[K]) ([]K, error) {
 	return splitters, nil
 }
 
+// exchangeSink is the part of the assembly contract the exchange loop
+// needs, satisfied by both the resident datamgr.Assembly and the
+// out-of-core datamgr.SpillAssembly.
+type exchangeSink[K any] interface {
+	Write(src int, chunk []comm.Entry[K]) error
+	RunComplete(src int) bool
+}
+
 // partitionExchange is steps 4-5: binary-search range partitioning, the
 // range-metadata broadcast, and the simultaneous all-to-all exchange at
 // precomputed offsets. Under MergeOverlap it also starts the streaming
 // merger and feeds it each source's run as the assembly completes it, so
-// step-6 work overlaps the exchange. On error the assembly's temporary
-// memory is released and the merger (if any) is aborted, so a cancelled
-// sort cannot inflate the node's tracker or leak slabs for later sorts on
-// the same engine.
-func (s *sortRun[K]) partitionExchange(entries []comm.Entry[K], splitters []K) (_ *datamgr.Assembly[K], _ *overlapMerger[K], err error) {
+// step-6 work overlaps the exchange. When the assembled total would
+// exceed Options.MemoryBudget the runs land in a SpillAssembly's block
+// files instead of a resident buffer (and the overlap merger, which
+// needs resident runs, stands down for this sort). On error the
+// assembly's temporary memory is released, the merger (if any) is
+// aborted and spill files are removed, so a cancelled sort cannot
+// inflate the node's tracker or leak slabs for later sorts on the same
+// engine.
+func (s *sortRun[K]) partitionExchange(entries []comm.Entry[K], splitters []K) (_ *datamgr.Assembly[K], _ *datamgr.SpillAssembly[K], _ *overlapMerger[K], err error) {
 	n := s.node
 	p := s.opts.Procs
 	self := n.id
@@ -563,7 +722,7 @@ func (s *sortRun[K]) partitionExchange(entries []comm.Entry[K], splitters []K) (
 			continue
 		}
 		if err := s.send(dst, comm.Message[K]{Kind: comm.KRangeMeta, Ints: meta}); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
 	// Collect everyone's counts; perSrc[i] is what source i sends me.
@@ -572,10 +731,10 @@ func (s *sortRun[K]) partitionExchange(entries []comm.Entry[K], splitters []K) (
 	for i := 0; i < p-1; i++ {
 		m, err := s.recv(comm.KRangeMeta)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		if len(m.Ints) != p {
-			return nil, nil, fmt.Errorf("range metadata from %d has %d counts, want %d", m.Src, len(m.Ints), p)
+			return nil, nil, nil, fmt.Errorf("range metadata from %d has %d counts, want %d", m.Src, len(m.Ints), p)
 		}
 		perSrc[m.Src] = int(m.Ints[self])
 	}
@@ -587,13 +746,34 @@ func (s *sortRun[K]) partitionExchange(entries []comm.Entry[K], splitters []K) (
 	for _, c := range perSrc {
 		total += c
 	}
-	asm := datamgr.NewAssemblyBuf[K](n.dm, perSrc, eb, n.entryPool.Get(total))
-	// The streaming merger must exist before the first assembly write so
-	// no run-completion — the self range included — can slip past it.
-	var ov *overlapMerger[K]
-	if s.opts.Merge == MergeOverlap {
-		ov = newOverlapMerger(s, asm)
-		asm.OnRunComplete(ov.offer)
+	var (
+		asm  *datamgr.Assembly[K]
+		sp   *datamgr.SpillAssembly[K]
+		sink exchangeSink[K]
+		ov   *overlapMerger[K]
+	)
+	if budget := s.opts.MemoryBudget; budget > 0 && int64(total)*int64(eb) > budget {
+		// The assembled runs would not fit the budget: land them in
+		// block files. The streaming overlap merger needs resident runs,
+		// so it stands down and the final merge streams from disk.
+		dir, derr := s.spillScratchDir()
+		if derr != nil {
+			return nil, nil, nil, derr
+		}
+		sp, err = datamgr.NewSpillAssembly(n.dm, perSrc, s.codec, dir)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		sink = sp
+	} else {
+		asm = datamgr.NewAssemblyBuf[K](n.dm, perSrc, eb, n.entryPool.Get(total))
+		sink = asm
+		// The streaming merger must exist before the first assembly write
+		// so no run-completion — the self range included — can slip past it.
+		if s.opts.Merge == MergeOverlap {
+			ov = newOverlapMerger(s, asm)
+			asm.OnRunComplete(ov.offer)
+		}
 	}
 	// sendDone carries the concurrent sender's result; the cleanup defer
 	// drains it if still outstanding, because recycling the assembly
@@ -610,14 +790,18 @@ func (s *sortRun[K]) partitionExchange(entries []comm.Entry[K], splitters []K) (
 			if ov != nil {
 				ov.abort()
 			}
-			asm.Release()
-			n.entryPool.Put(asm.Entries())
+			if sp != nil {
+				sp.Close()
+			} else {
+				asm.Release()
+				n.entryPool.Put(asm.Entries())
+			}
 		}
 	}()
 	// The local range never touches the network.
 	lo, hi := ranges.Range(self)
-	if err := asm.Write(self, entries[lo:hi]); err != nil {
-		return nil, nil, err
+	if err := sink.Write(self, entries[lo:hi]); err != nil {
+		return nil, nil, nil, err
 	}
 	expectRemote := 0
 	for src, c := range perSrc {
@@ -670,10 +854,10 @@ func (s *sortRun[K]) partitionExchange(entries []comm.Entry[K], splitters []K) (
 			if err != nil {
 				return err
 			}
-			if err := asm.Write(m.Src, m.Entries); err != nil {
+			if err := sink.Write(m.Src, m.Entries); err != nil {
 				return err
 			}
-			if m.Flags&comm.FlagRunComplete != 0 && !asm.RunComplete(m.Src) {
+			if m.Flags&comm.FlagRunComplete != 0 && !sink.RunComplete(m.Src) {
 				// The sender says its run ends here but the metadata
 				// counts expect more: a framing/metadata mismatch that
 				// must fail loudly, not feed a short run to the merger.
@@ -694,42 +878,45 @@ func (s *sortRun[K]) partitionExchange(entries []comm.Entry[K], splitters []K) (
 		// Bulk-synchronous ablation: finish all sends, exchange barrier
 		// tokens, then drain the receive queue.
 		if err := sendAll(); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		for dst := 0; dst < p; dst++ {
 			if dst == self {
 				continue
 			}
 			if err := s.send(dst, comm.Message[K]{Kind: comm.KControl, Ints: []int64{1}}); err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 		}
 		for i := 0; i < p-1; i++ {
 			if _, err := s.recv(comm.KControl); err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 		}
 		if err := recvAll(); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	} else {
 		// Paper behaviour: send while receiving, no barrier in between.
 		sendDone = make(chan error, 1)
 		go func() { sendDone <- sendAll() }()
 		if err := recvAll(); err != nil {
-			return nil, nil, err // cleanup defer drains sendDone
+			return nil, nil, nil, err // cleanup defer drains sendDone
 		}
 		sendErr := <-sendDone
 		sendDone = nil // drained; the cleanup defer must not block on it
 		if sendErr != nil {
-			return nil, nil, sendErr
+			return nil, nil, nil, sendErr
 		}
 	}
 	if ov != nil {
 		ov.markExchangeDone()
 	}
+	if sp != nil {
+		s.report.SpillBytes += sp.SpillBytes()
+	}
 	s.report.Steps[StepExchange] = time.Since(t0)
-	return asm, ov, nil
+	return asm, sp, ov, nil
 }
 
 // finalMerge is step 6: merge the received sorted runs. The merge
@@ -738,13 +925,21 @@ func (s *sortRun[K]) partitionExchange(entries []comm.Entry[K], splitters []K) (
 // immediately (the result itself becomes resident storage and leaves the
 // pool for good). Under MergeOverlap most of the work already happened
 // inside the exchange; only the streaming merger's final pass runs here,
-// and StepFinalMerge times just that visible tail.
-func (s *sortRun[K]) finalMerge(asm *datamgr.Assembly[K], ov *overlapMerger[K]) []comm.Entry[K] {
+// and StepFinalMerge times just that visible tail. A spilled exchange
+// streams its block-file runs through the same loser tree MergeKWay
+// uses (tie-broken by source order), so its output is byte-identical to
+// the in-memory k-way and overlap paths.
+func (s *sortRun[K]) finalMerge(asm *datamgr.Assembly[K], sp *datamgr.SpillAssembly[K], ov *overlapMerger[K]) ([]comm.Entry[K], error) {
 	n := s.node
 	p := s.opts.Procs
 	eb := entryBytes[K]()
 
 	t0 := time.Now()
+	if sp != nil {
+		merged, err := s.spillMerge(sp, int64(eb))
+		s.report.Steps[StepFinalMerge] = time.Since(t0)
+		return merged, err
+	}
 	var merged []comm.Entry[K]
 	buf := asm.Entries()
 	switch {
@@ -789,5 +984,46 @@ func (s *sortRun[K]) finalMerge(asm *datamgr.Assembly[K], ov *overlapMerger[K]) 
 		}
 	}
 	s.report.Steps[StepFinalMerge] = time.Since(t0)
-	return merged
+	return merged, nil
+}
+
+// spillMerge drains a spilled exchange: one streaming cursor per source
+// run (an empty cursor for sources that sent nothing, so tie-breaking
+// by cursor index matches KWayMerge's run order exactly) feeds a loser
+// tree that fills the result buffer directly. Temporary memory is just
+// the decoded-ahead blocks — two slabs per non-empty source — however
+// large the runs are. The run files are removed before returning.
+func (s *sortRun[K]) spillMerge(sp *datamgr.SpillAssembly[K], eb int64) ([]comm.Entry[K], error) {
+	n := s.node
+	defer sp.Close()
+	readers, err := sp.Readers(spill.ReaderOpts[K]{Pool: n.entryPool, Tracker: &n.tracker, EntryBytes: eb})
+	if err != nil {
+		return nil, err
+	}
+	cursors := make([]lsort.Cursor[comm.Entry[K]], len(readers))
+	for i, r := range readers {
+		if r == nil {
+			cursors[i] = lsort.NewSliceCursor[comm.Entry[K]](nil)
+		} else {
+			cursors[i] = r
+		}
+	}
+	total := sp.Total()
+	merged := n.entryPool.Get(total)
+	filled, merr := lsort.MergeCursors(merged, cursors, s.cmps.entryLess)
+	for _, r := range readers {
+		if r != nil {
+			s.report.SpillReads += r.BytesRead()
+			r.Close()
+		}
+	}
+	if merr == nil && filled != total {
+		merr = fmt.Errorf("core: spill merge produced %d of %d entries: %w",
+			filled, total, spill.ErrCorrupt)
+	}
+	if merr != nil {
+		n.entryPool.Put(merged)
+		return nil, merr
+	}
+	return merged, nil
 }

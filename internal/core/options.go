@@ -234,6 +234,57 @@ type Options struct {
 	// communication stage). Default 2. SortManyOpts.MaxInflight overrides
 	// it per call.
 	MaxInflight int
+	// MemoryBudget caps each node's *temporary* entry memory (the merge
+	// scratch, exchange assembly and other tracker-accounted staging —
+	// the TempPeakBytes column, not the resident input/result). When a
+	// stage would allocate past the budget it spills sorted runs to
+	// block files under SpillDir instead (internal/spill) and streams
+	// them back through the merge, byte-identical to the in-memory run.
+	// Zero reads the MemBudgetEnv environment variable (unset or
+	// unparsable means unlimited); negative is explicitly unlimited,
+	// ignoring the environment.
+	MemoryBudget int64
+	// SpillDir is where spilled run files live; each sort creates (and
+	// removes) its own temporary directory underneath. Empty uses the
+	// system temp dir. Put it on the fastest disk available: spill I/O
+	// sits on the local-sort and merge critical paths.
+	SpillDir string
+}
+
+// MemBudgetEnv is the environment variable the tier-1 spill ablation
+// lane uses to force a per-node memory budget onto every sort that does
+// not set one explicitly: the same K/M/G vocabulary as the CLIs'
+// -mem-budget flag (see ParseMemBudget). Explicit Options.MemoryBudget
+// settings — including negative for explicitly unlimited — always win.
+const MemBudgetEnv = "PGXSORT_MEM_BUDGET"
+
+// ParseMemBudget parses a human-friendly byte count for -mem-budget
+// flags: a plain integer, or one with a K/M/G suffix (binary multiples,
+// case-insensitive). Empty and "0" mean no budget.
+func ParseMemBudget(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult = 1 << 10
+		s = s[:len(s)-1]
+	case 'm', 'M':
+		mult = 1 << 20
+		s = s[:len(s)-1]
+	case 'g', 'G':
+		mult = 1 << 30
+		s = s[:len(s)-1]
+	}
+	var n int64
+	if _, err := fmt.Sscanf(s, "%d", &n); err != nil || fmt.Sprint(n) != s {
+		return 0, fmt.Errorf("core: bad memory budget %q (want e.g. 64M, 2G, 1048576)", s)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("core: negative memory budget %q", s)
+	}
+	return n * mult, nil
 }
 
 // withDefaults returns a copy of o with defaults filled in.
@@ -258,6 +309,11 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Merge == MergeAuto {
 		o.Merge = resolveAutoMerge(o.Procs)
+	}
+	if o.MemoryBudget == 0 {
+		if b, err := ParseMemBudget(os.Getenv(MemBudgetEnv)); err == nil {
+			o.MemoryBudget = b
+		}
 	}
 	return o
 }

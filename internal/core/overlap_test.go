@@ -66,6 +66,12 @@ func requireEntriesIdentical[K cmp.Ordered](t *testing.T, codec comm.Codec[K], g
 func diffOverlapVsBarriered[K cmp.Ordered](t *testing.T, codec comm.Codec[K], parts [][]K, opts Options, label string) {
 	t.Helper()
 	opts.Procs = len(parts)
+	// These differentials validate the *resident* overlap merger, which
+	// stands down whenever the exchange spills; pin the explicit in-memory
+	// opt-out so a PGXSORT_MEM_BUDGET ablation run doesn't replace the
+	// machinery under test (budgeted overlap convergence is spill_test.go's
+	// TestSpillAllStrategiesConverge).
+	opts.MemoryBudget = -1
 	kway := opts
 	kway.Merge = MergeKWay
 	overlap := opts
@@ -262,7 +268,9 @@ func TestOverlapReportAndTrace(t *testing.T) {
 	// Retry a few times before declaring the overlap dead.
 	saved := false
 	for attempt := 0; attempt < 3 && !saved; attempt++ {
-		e := newTestEngine(t, Options{Procs: procs, WorkersPerProc: 2, Merge: MergeOverlap})
+		// MemoryBudget -1: the trace needs the resident overlap, which a
+		// PGXSORT_MEM_BUDGET ablation run would otherwise spill away.
+		e := newTestEngine(t, Options{Procs: procs, WorkersPerProc: 2, Merge: MergeOverlap, MemoryBudget: -1})
 		res, err := e.Sort(parts)
 		if err != nil {
 			t.Fatal(err)
@@ -280,7 +288,7 @@ func TestOverlapReportAndTrace(t *testing.T) {
 	}
 
 	// Under the pipelined scheduler the trace carries the merge spans.
-	e := newTestEngine(t, Options{Procs: 4, WorkersPerProc: 2, Merge: MergeOverlap})
+	e := newTestEngine(t, Options{Procs: 4, WorkersPerProc: 2, Merge: MergeOverlap, MemoryBudget: -1})
 	datasets := [][][]uint64{
 		mkParts(dist.Uniform, 4, 5000, 1),
 		mkParts(dist.Normal, 4, 5000, 2),

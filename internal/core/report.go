@@ -179,6 +179,13 @@ type NodeReport struct {
 	// ResidentBytes is the entry storage this node holds (input entries +
 	// result), the analogue of RSS in Figure 11.
 	ResidentBytes int64
+	// SpillBytes / SpillReads count the bytes this node wrote to and read
+	// back from spill run files while honouring Options.MemoryBudget.
+	// Zero when the whole sort fit the budget. SpillReads/SpillBytes is
+	// the node's spill read amplification: 1.0 means every spilled byte
+	// was read back exactly once.
+	SpillBytes int64
+	SpillReads int64
 	// StageWait is the time this node spent blocked at each scheduler
 	// stage boundary waiting to be admitted (zero outside SortMany's
 	// pipelined scheduler).
@@ -231,6 +238,11 @@ type Report struct {
 	// totals per-node entry storage (Figure 11).
 	TempPeakBytes int64
 	ResidentBytes int64
+	// SpillBytes / SpillReads total the spill-file traffic across nodes
+	// (bytes written to and read back from block-file runs under
+	// Options.MemoryBudget). Zero means the sort ran entirely in memory.
+	SpillBytes int64
+	SpillReads int64
 	// SamplesPerProc is the per-processor sample count used (Figure 9/10).
 	SamplesPerProc int
 	// Attempts is how many times the scheduler ran this job before it
@@ -336,6 +348,10 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "  comm: %d msgs, %d bytes (samples %d, meta %d, data %d)\n",
 		r.MsgsSent, r.BytesSent, r.SampleBytes, r.MetaBytes, r.DataBytes)
 	fmt.Fprintf(&b, "  memory: %d resident, %d temp peak\n", r.ResidentBytes, r.TempPeakBytes)
+	if r.SpillBytes > 0 {
+		fmt.Fprintf(&b, "  spill: %d bytes written, %d read back (%.2fx read amplification)\n",
+			r.SpillBytes, r.SpillReads, float64(r.SpillReads)/float64(r.SpillBytes))
+	}
 	if r.MergeOverlapSaved > 0 {
 		fmt.Fprintf(&b, "  overlap: %v of merge time hidden inside the exchange\n", r.MergeOverlapSaved)
 	}

@@ -1,0 +1,221 @@
+package datamgr
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"pgxsort/internal/comm"
+	"pgxsort/internal/failpoint"
+	"pgxsort/internal/spill"
+)
+
+// SpillAssembly is Assembly's out-of-core sibling: instead of landing
+// peer chunks in one resident buffer at precomputed offsets, each
+// source's run streams straight into its own spill.Writer block file.
+// The contract is otherwise identical — per-source chunks arrive FIFO
+// and append in order, different sources may write concurrently (each
+// owns its writer), OnRunComplete fires the moment a source's expected
+// count lands, and Done closes when everything has. The final merge then
+// consumes spill.RunReader cursors instead of in-memory regions.
+type SpillAssembly[K any] struct {
+	codec   comm.Codec[K]
+	writers []*spill.Writer[K] // nil for sources expecting zero entries
+	expect  []int
+	cursor  []int
+
+	gotMu    sync.Mutex
+	missing  int
+	signaled bool
+	done     chan struct{}
+	runDone  []bool
+	notified []bool
+	onRun    func(src int)
+	closed   bool
+}
+
+// NewSpillAssembly creates one run file per non-empty source under dir
+// (dir must exist; files are named run-<src>.spill). Unlike NewAssembly
+// there is no tracker accounting for the assembled entries — the entire
+// point is that they are not resident.
+func NewSpillAssembly[K any](m *Manager, perSrc []int, c comm.Codec[K], dir string) (*SpillAssembly[K], error) {
+	a := &SpillAssembly[K]{
+		codec:    c,
+		writers:  make([]*spill.Writer[K], len(perSrc)),
+		expect:   append([]int(nil), perSrc...),
+		cursor:   make([]int, len(perSrc)),
+		done:     make(chan struct{}),
+		runDone:  make([]bool, len(perSrc)),
+		notified: make([]bool, len(perSrc)),
+	}
+	for src, n := range perSrc {
+		if n < 0 {
+			a.Close()
+			return nil, fmt.Errorf("datamgr: negative expected count %d from source %d", n, src)
+		}
+		a.missing += n
+		a.runDone[src] = n == 0
+		if n == 0 {
+			continue
+		}
+		w, err := spill.NewWriter(filepath.Join(dir, fmt.Sprintf("run-%d.spill", src)), c, 0)
+		if err != nil {
+			a.Close()
+			return nil, err
+		}
+		a.writers[src] = w
+	}
+	if a.missing == 0 {
+		a.signaled = true
+		close(a.done)
+	}
+	return a, nil
+}
+
+// Write appends a chunk arriving from src to its run file, finishing the
+// file when the source's expected count lands. Same concurrency contract
+// as Assembly.Write: per-source FIFO, cross-source concurrent.
+func (a *SpillAssembly[K]) Write(src int, chunk []comm.Entry[K]) error {
+	if err := failpoint.HitNoPanic(fpWrite); err != nil {
+		return err
+	}
+	if src < 0 || src >= len(a.cursor) {
+		return fmt.Errorf("datamgr: source %d out of range", src)
+	}
+	cur := a.cursor[src]
+	if cur+len(chunk) > a.expect[src] {
+		return fmt.Errorf("datamgr: source %d overflows its region: %d+%d > %d",
+			src, cur, len(chunk), a.expect[src])
+	}
+	if a.writers[src] == nil {
+		// A zero-count source has no run file; the only chunk that can
+		// reach it is an empty one (a node's own empty range, say), and
+		// its run was already marked done at construction.
+		return nil
+	}
+	if err := a.writers[src].Append(chunk); err != nil {
+		return err
+	}
+	a.cursor[src] = cur + len(chunk)
+	complete := a.cursor[src] == a.expect[src]
+	if complete {
+		// Seal the run so readers can open it the moment the merge
+		// wants it; a Finish failure surfaces like a write failure.
+		if err := a.writers[src].Finish(); err != nil {
+			return err
+		}
+	}
+
+	a.gotMu.Lock()
+	a.missing -= len(chunk)
+	finished := a.missing == 0 && !a.signaled
+	if finished {
+		a.signaled = true
+	}
+	var notify func(src int)
+	if complete {
+		a.runDone[src] = true
+		if a.onRun != nil && !a.notified[src] {
+			a.notified[src] = true
+			notify = a.onRun
+		}
+	}
+	a.gotMu.Unlock()
+	if notify != nil {
+		notify(src)
+	}
+	if finished {
+		close(a.done)
+	}
+	return nil
+}
+
+// OnRunComplete mirrors Assembly.OnRunComplete: fn fires exactly once
+// per source as soon as its run file is sealed (immediately for sources
+// expecting zero entries).
+func (a *SpillAssembly[K]) OnRunComplete(fn func(src int)) {
+	a.gotMu.Lock()
+	a.onRun = fn
+	var fire []int
+	for src := range a.expect {
+		if a.runDone[src] && !a.notified[src] {
+			a.notified[src] = true
+			fire = append(fire, src)
+		}
+	}
+	a.gotMu.Unlock()
+	for _, src := range fire {
+		fn(src)
+	}
+}
+
+// RunComplete reports whether source src's run file is sealed.
+func (a *SpillAssembly[K]) RunComplete(src int) bool {
+	if src < 0 || src >= len(a.runDone) {
+		return false
+	}
+	a.gotMu.Lock()
+	defer a.gotMu.Unlock()
+	return a.runDone[src]
+}
+
+// Done is closed once every expected entry has been written.
+func (a *SpillAssembly[K]) Done() <-chan struct{} { return a.done }
+
+// Total reports the summed expected entry count across sources.
+func (a *SpillAssembly[K]) Total() int {
+	total := 0
+	for _, n := range a.expect {
+		total += n
+	}
+	return total
+}
+
+// SpillBytes reports the bytes written across all run files so far.
+func (a *SpillAssembly[K]) SpillBytes() int64 {
+	var total int64
+	for _, w := range a.writers {
+		if w != nil {
+			total += w.BytesWritten()
+		}
+	}
+	return total
+}
+
+// Readers opens a RunReader per source, in source order (nil for empty
+// sources), each configured with the caller's slab pool and tracker.
+// Callers own the readers and must Close every non-nil one.
+func (a *SpillAssembly[K]) Readers(opts spill.ReaderOpts[K]) ([]*spill.RunReader[K], error) {
+	readers := make([]*spill.RunReader[K], len(a.writers))
+	for src, w := range a.writers {
+		if w == nil {
+			continue
+		}
+		r, err := spill.NewRunReader(w.Path(), a.codec, opts)
+		if err != nil {
+			for _, open := range readers {
+				if open != nil {
+					open.Close()
+				}
+			}
+			return nil, err
+		}
+		readers[src] = r
+	}
+	return readers, nil
+}
+
+// Close removes every run file. Safe to call multiple times and at any
+// point — unsealed writers abort, sealed ones just lose their file. Call
+// after the merge has consumed the readers (or on any abort path).
+func (a *SpillAssembly[K]) Close() {
+	if a.closed {
+		return
+	}
+	a.closed = true
+	for _, w := range a.writers {
+		if w != nil {
+			w.Abort()
+		}
+	}
+}

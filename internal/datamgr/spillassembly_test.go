@@ -1,0 +1,175 @@
+package datamgr
+
+import (
+	"os"
+	"sort"
+	"sync"
+	"testing"
+
+	"pgxsort/internal/comm"
+	"pgxsort/internal/spill"
+)
+
+// TestSpillAssemblyMatchesAssembly: the same chunk traffic lands in a
+// resident Assembly and a SpillAssembly; every source's run must read
+// back byte-identical, with completion notifications firing once each.
+func TestSpillAssemblyMatchesAssembly(t *testing.T) {
+	m := &Manager{}
+	perSrc := []int{1000, 0, 2500, 7}
+	resident := NewAssembly[uint64](m, perSrc, 16)
+	spilled, err := NewSpillAssembly(m, perSrc, comm.U64Codec{}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spilled.Close()
+
+	var mu sync.Mutex
+	completions := map[int]int{}
+	spilled.OnRunComplete(func(src int) {
+		mu.Lock()
+		completions[src]++
+		mu.Unlock()
+	})
+
+	var wg sync.WaitGroup
+	for src, n := range perSrc {
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(src, n int) {
+			defer wg.Done()
+			sent := 0
+			for sent < n {
+				step := 300
+				if step > n-sent {
+					step = n - sent
+				}
+				chunk := make([]comm.Entry[uint64], step)
+				for i := range chunk {
+					chunk[i] = comm.Entry[uint64]{Key: uint64(sent + i), Proc: uint32(src), Index: uint32(sent + i)}
+				}
+				if err := resident.Write(src, chunk); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := spilled.Write(src, chunk); err != nil {
+					t.Error(err)
+					return
+				}
+				sent += step
+			}
+		}(src, n)
+	}
+	wg.Wait()
+	select {
+	case <-spilled.Done():
+	default:
+		t.Fatal("spilled assembly not done after all writes")
+	}
+	if spilled.Total() != 3507 {
+		t.Fatalf("Total = %d", spilled.Total())
+	}
+	if spilled.SpillBytes() <= 0 {
+		t.Fatalf("SpillBytes = %d", spilled.SpillBytes())
+	}
+
+	mu.Lock()
+	for src, n := range perSrc {
+		want := 1
+		if completions[src] != want {
+			t.Fatalf("source %d completed %d times (expect %d, n=%d)", src, completions[src], want, n)
+		}
+	}
+	mu.Unlock()
+
+	readers, err := spilled.Readers(spill.ReaderOpts[uint64]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src, r := range readers {
+		want := resident.Run(src)
+		if r == nil {
+			if len(want) != 0 {
+				t.Fatalf("source %d: no reader for %d entries", src, len(want))
+			}
+			continue
+		}
+		var got []comm.Entry[uint64]
+		for {
+			batch, err := r.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(batch) == 0 {
+				break
+			}
+			got = append(got, batch...)
+		}
+		r.Close()
+		if len(got) != len(want) {
+			t.Fatalf("source %d: %d entries, want %d", src, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Key != want[i].Key || got[i].Proc != want[i].Proc || got[i].Index != want[i].Index {
+				t.Fatalf("source %d entry %d: %+v != %+v", src, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSpillAssemblyOverflowAndClose: region overflow errors like the
+// resident assembly, and Close removes every run file.
+func TestSpillAssemblyOverflowAndClose(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewSpillAssembly(&Manager{}, []int{2}, comm.U64Codec{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Write(0, make([]comm.Entry[uint64], 3)); err == nil {
+		t.Fatal("overflow write succeeded")
+	}
+	if err := a.Write(1, nil); err == nil {
+		t.Fatal("out-of-range source succeeded")
+	}
+	a.Close()
+	a.Close() // idempotent
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	if len(names) != 0 {
+		t.Fatalf("files survive Close: %v", names)
+	}
+}
+
+// TestSpillAssemblyEmptySource: a source expecting zero entries has no
+// run file, yet an empty chunk for it (a node writing its own empty
+// range) must be a no-op, not a nil-writer panic, and Done must already
+// account for it.
+func TestSpillAssemblyEmptySource(t *testing.T) {
+	a, err := NewSpillAssembly(&Manager{}, []int{0, 1}, comm.U64Codec{}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Write(0, nil); err != nil {
+		t.Fatalf("empty chunk for zero-count source: %v", err)
+	}
+	if !a.RunComplete(0) {
+		t.Fatal("zero-count source not complete at construction")
+	}
+	if err := a.Write(1, []comm.Entry[uint64]{{Key: 7}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-a.Done():
+	default:
+		t.Fatal("assembly not done after the only expected entry landed")
+	}
+}

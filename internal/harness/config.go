@@ -55,6 +55,14 @@ type Config struct {
 	// RecBytes is the payload size the keytypes experiment attaches per
 	// key on its record-path points (0 = the experiment's default sweep).
 	RecBytes int
+	// MemBudget applies core.Options.MemoryBudget to every experiment
+	// engine that does not set a budget itself (the spill experiment
+	// sweeps its own). Zero = unlimited (subject to PGXSORT_MEM_BUDGET);
+	// negative = explicitly unlimited.
+	MemBudget int64
+	// SpillDir is where budgeted engines place their spill run files
+	// (empty = system temp dir).
+	SpillDir string
 }
 
 // WithDefaults fills unset fields.
@@ -149,6 +157,12 @@ func (c Config) engineOpts(procs int, opts core.Options) (core.Options, error) {
 	}
 	if opts.Merge == core.MergeAuto {
 		opts.Merge = c.Merge
+	}
+	if opts.MemoryBudget == 0 {
+		opts.MemoryBudget = c.MemBudget
+	}
+	if opts.SpillDir == "" {
+		opts.SpillDir = c.SpillDir
 	}
 	if len(c.ListenAddrs) > 0 || len(c.PeerAddrs) > 0 {
 		if len(c.ListenAddrs) > 0 && len(c.ListenAddrs) != opts.Procs {

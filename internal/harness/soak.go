@@ -15,6 +15,7 @@ import (
 	"pgxsort/internal/failpoint"
 	"pgxsort/internal/keyio"
 	"pgxsort/internal/serve"
+	"pgxsort/internal/spill"
 )
 
 // soakSites are the failpoint sites the storm draws from; "" is the
@@ -28,6 +29,8 @@ var soakSites = []string{
 	"datamgr/assembly-write",
 	"serve/admission",
 	"serve/cache-put",
+	spill.FpWriteBlock,
+	spill.FpReadBlock,
 }
 
 // SoakExp is the self-healing soak: a resident pgxsortd server answering
@@ -61,9 +64,11 @@ func SoakExp(c Config) ([]Table, error) {
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("transport=%s, %d workers/proc, scheduler retry cap 4 attempts/job", c.Transport, c.Workers),
-		"each job first picks a failpoint (engine stage, datamgr assembly, serve admission/cache-put,",
-		"or none) with a seeded mode (error/delay/panic) and hit number; armed counts jobs with an",
-		"injection configured, fired those whose schedule actually triggered; wrong_bytes compares every",
+		"each job first picks a failpoint (engine stage, datamgr assembly, spill block I/O, serve",
+		"admission/cache-put, or none) with a seeded mode (error/delay/panic) and hit number; a tiny",
+		"memory budget forces every job out of core so the spill arms hit real block reads and writes;",
+		"armed counts jobs with an injection configured, fired those whose schedule actually triggered;",
+		"wrong_bytes compares every",
 		"200 against a local reference sort and MUST be 0; refused_503 is the admission site answering",
 		"like a drain (an honest refusal, not a wrong answer); the run fails if the daemon is not live",
 		"afterwards or retries exceed the attempt budget (bounded retries, no storm)")
@@ -76,12 +81,18 @@ func (c Config) soakRound(procs, jobs, keysPerJob int) ([]string, error) {
 	defer failpoint.Reset()
 	const retryAttempts = 4
 	srv, err := serve.New(serve.Config{
-		Procs:         procs,
-		Workers:       c.Workers,
-		Transport:     c.Transport,
-		LocalSort:     c.LocalSort,
-		Merge:         c.Merge,
-		MaxInflight:   c.Inflight,
+		Procs:       procs,
+		Workers:     c.Workers,
+		Transport:   c.Transport,
+		LocalSort:   c.LocalSort,
+		Merge:       c.Merge,
+		MaxInflight: c.Inflight,
+		// A budget of a fraction of each job's footprint forces jobs out
+		// of core, so the storm's spill/write-block and spill/read-block
+		// arms have real block I/O to fail (and the healed retries prove
+		// the spill tier unwinds cleanly mid-batch).
+		MemoryBudget:  int64(keysPerJob), // ~1/10 of keysPerJob entries x ~10 wire bytes
+		SpillDir:      c.SpillDir,
 		RetryAttempts: retryAttempts,
 	})
 	if err != nil {

@@ -1,0 +1,163 @@
+package lsort
+
+// Cursor is a pull source of sorted elements, batch at a time — the
+// streaming counterpart of an in-memory run. Next returns the next batch
+// in sorted order; a zero-length batch means the stream is exhausted.
+// The returned slice is only valid until the following Next call, so
+// consumers must finish (or copy) a batch before pulling the next one.
+// Spill run readers implement Cursor over decoded block slabs.
+type Cursor[E any] interface {
+	Next() ([]E, error)
+}
+
+// SliceCursor adapts an in-memory run to the Cursor interface: the whole
+// run is handed out as one batch. It lets MergeCursors mix resident and
+// spilled runs in a single merge.
+type SliceCursor[E any] struct {
+	run  []E
+	done bool
+}
+
+// NewSliceCursor returns a Cursor yielding run as a single batch.
+func NewSliceCursor[E any](run []E) *SliceCursor[E] {
+	return &SliceCursor[E]{run: run}
+}
+
+func (c *SliceCursor[E]) Next() ([]E, error) {
+	if c.done {
+		return nil, nil
+	}
+	c.done = true
+	return c.run, nil
+}
+
+// MergeCursors merges k sorted cursor streams into dst using the same
+// loser tree as KWayMerge, pulling batches on demand so only one batch
+// per cursor is resident at a time. dst must have capacity for the full
+// merged output; the filled prefix length is returned.
+//
+// The merge is stable: ties are broken by cursor index, exactly like
+// KWayMerge breaks ties by run index. The spill tier depends on this
+// equivalence — merging per-source RunReaders by source order must be
+// byte-identical to KWayMerge over the same runs held in memory.
+//
+// On a cursor error the merge stops and returns the elements emitted so
+// far along with the error; remaining cursors are left unread.
+func MergeCursors[E any](dst []E, cursors []Cursor[E], less func(x, y E) bool) (int, error) {
+	k := len(cursors)
+	switch k {
+	case 0:
+		return 0, nil
+	case 1:
+		n := 0
+		for {
+			batch, err := cursors[0].Next()
+			if err != nil {
+				return n, err
+			}
+			if len(batch) == 0 {
+				return n, nil
+			}
+			n += copy(dst[n:], batch)
+		}
+	}
+	t := &cursorTree[E]{
+		less: less,
+		cur:  cursors,
+		buf:  make([][]E, k),
+		pos:  make([]int, k),
+		tree: make([]int, k),
+		k:    k,
+	}
+	// Prime every cursor with its first batch; exhausted streams enter
+	// the tournament as -1 (compares as +infinity).
+	winners := make([]int, 2*k)
+	for i := 0; i < k; i++ {
+		winners[k+i] = i
+		if err := t.fill(i); err != nil {
+			return 0, err
+		}
+		if len(t.buf[i]) == 0 {
+			winners[k+i] = -1
+		}
+	}
+	for j := k - 1; j >= 1; j-- {
+		a, b := winners[2*j], winners[2*j+1]
+		if t.beats(a, b) {
+			winners[j], t.tree[j] = a, b
+		} else {
+			winners[j], t.tree[j] = b, a
+		}
+	}
+	t.tree[0] = winners[1]
+
+	n := 0
+	for {
+		w := t.tree[0]
+		if w == -1 {
+			return n, nil
+		}
+		dst[n] = t.buf[w][t.pos[w]]
+		n++
+		t.pos[w]++
+		cand := w
+		if t.pos[w] >= len(t.buf[w]) {
+			if err := t.fill(w); err != nil {
+				return n, err
+			}
+			if len(t.buf[w]) == 0 {
+				cand = -1 // stream exhausted
+			}
+		}
+		for node := (w + t.k) / 2; node >= 1; node /= 2 {
+			if t.beats(t.tree[node], cand) {
+				t.tree[node], cand = cand, t.tree[node]
+			}
+		}
+		t.tree[0] = cand
+	}
+}
+
+// cursorTree is loserTree's batch-pulling sibling: leaves are cursor
+// streams instead of resident runs, with buf/pos holding the live batch
+// per cursor. Refills happen in the pop path the moment a batch drains,
+// so tie-break order (lower cursor index first) is identical to
+// loserTree's run-index rule.
+type cursorTree[E any] struct {
+	less func(x, y E) bool
+	cur  []Cursor[E]
+	buf  [][]E
+	pos  []int
+	tree []int
+	k    int
+}
+
+// fill pulls the next batch for cursor i and resets pos; a zero-length
+// batch marks the stream exhausted per the Cursor contract.
+func (t *cursorTree[E]) fill(i int) error {
+	batch, err := t.cur[i].Next()
+	if err != nil {
+		return err
+	}
+	t.buf[i] = batch
+	t.pos[i] = 0
+	return nil
+}
+
+func (t *cursorTree[E]) beats(a, b int) bool {
+	if a == -1 {
+		return false
+	}
+	if b == -1 {
+		return true
+	}
+	ea := t.buf[a][t.pos[a]]
+	eb := t.buf[b][t.pos[b]]
+	if t.less(ea, eb) {
+		return true
+	}
+	if t.less(eb, ea) {
+		return false
+	}
+	return a < b
+}

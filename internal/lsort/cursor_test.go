@@ -1,0 +1,129 @@
+package lsort
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// chunkedCursor yields a run in batches of varying sizes, reusing one
+// backing buffer across Next calls to police the "batch valid until the
+// next Next" contract in consumers.
+type chunkedCursor struct {
+	run   []uint64
+	sizes []int
+	call  int
+	buf   []uint64
+}
+
+func (c *chunkedCursor) Next() ([]uint64, error) {
+	if len(c.run) == 0 {
+		return nil, nil
+	}
+	n := c.sizes[c.call%len(c.sizes)]
+	c.call++
+	if n > len(c.run) {
+		n = len(c.run)
+	}
+	c.buf = append(c.buf[:0], c.run[:n]...)
+	c.run = c.run[n:]
+	return c.buf, nil
+}
+
+// TestMergeCursorsMatchesKWay: streaming the same runs through batching
+// cursors must reproduce KWayMerge byte for byte — including tie order,
+// which both break by run/cursor index. This is the equivalence the
+// spill tier's final merge is built on.
+func TestMergeCursorsMatchesKWay(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		k := 1 + r.Intn(9)
+		runs := make([][]uint64, k)
+		total := 0
+		for i := range runs {
+			runs[i] = sortedRandom(r, r.Intn(3000), 1+r.Intn(50))
+			total += len(runs[i])
+		}
+		want := KWayMerge(runs, lessU64)
+		cursors := make([]Cursor[uint64], k)
+		for i := range runs {
+			cursors[i] = &chunkedCursor{run: runs[i], sizes: []int{1 + r.Intn(7), 1 + r.Intn(500), 97}}
+		}
+		dst := make([]uint64, total)
+		n, err := MergeCursors(dst, cursors, lessU64)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if n != len(want) {
+			t.Fatalf("trial %d: merged %d of %d", trial, n, len(want))
+		}
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("trial %d: mismatch at %d: %d != %d", trial, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMergeCursorsMixedSlices: resident runs via SliceCursor interleave
+// with batching cursors and still match KWayMerge.
+func TestMergeCursorsMixedSlices(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	runs := [][]uint64{
+		sortedRandom(r, 500, 20),
+		sortedRandom(r, 0, 5),
+		sortedRandom(r, 1200, 20),
+		sortedRandom(r, 3, 2),
+	}
+	want := KWayMerge(runs, lessU64)
+	cursors := []Cursor[uint64]{
+		NewSliceCursor(runs[0]),
+		&chunkedCursor{run: runs[1], sizes: []int{4}},
+		&chunkedCursor{run: runs[2], sizes: []int{11, 3}},
+		NewSliceCursor(runs[3]),
+	}
+	dst := make([]uint64, len(want))
+	n, err := MergeCursors(dst, cursors, lessU64)
+	if err != nil || n != len(want) {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+type failingCursor struct {
+	left int
+	err  error
+}
+
+func (c *failingCursor) Next() ([]uint64, error) {
+	if c.left == 0 {
+		return nil, c.err
+	}
+	c.left--
+	return []uint64{1}, nil
+}
+
+// TestMergeCursorsError: a cursor error surfaces instead of being
+// swallowed, with the prefix emitted so far reported.
+func TestMergeCursorsError(t *testing.T) {
+	boom := errors.New("boom")
+	dst := make([]uint64, 16)
+	n, err := MergeCursors(dst, []Cursor[uint64]{
+		&failingCursor{left: 2, err: boom},
+		NewSliceCursor([]uint64{0, 2}),
+	}, lessU64)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n == 0 || n > 4 {
+		t.Fatalf("n = %d", n)
+	}
+	// Single-cursor path must also propagate the error.
+	if _, err := MergeCursors(dst, []Cursor[uint64]{&failingCursor{err: boom}}, lessU64); !errors.Is(err, boom) {
+		t.Fatalf("single-cursor err = %v", err)
+	}
+}

@@ -5,10 +5,11 @@ import (
 	"sync"
 )
 
-// CoRank finds a split point (i, j) with i+j = d such that merging
-// a[:i] with b[:j] and a[i:] with b[j:] separately yields the same sorted
-// multiset as one merge of a and b (the "merge path" diagonal
-// intersection). It runs in O(log min(len(a), len(b), d)).
+// CoRank finds the split point (i, j) with i+j = d where the *stable*
+// merge path of a and b (the one mergeInto walks: on ties the element
+// from a is emitted first) crosses diagonal d, so merging a[:i] with
+// b[:j] and a[i:] with b[j:] separately reproduces mergeInto's output
+// exactly — tie groups included. It runs in O(log min(len(a), len(b), d)).
 func CoRank[E any](d int, a, b []E, less func(x, y E) bool) (i, j int) {
 	lo := d - len(b)
 	if lo < 0 {
@@ -26,8 +27,11 @@ func CoRank[E any](d int, a, b []E, less func(x, y E) bool) (i, j int) {
 			hi = i - 1
 			continue
 		}
-		if j > 0 && i < len(a) && less(a[i], b[j-1]) {
-			// b[j-1] belongs after a[i]: too few taken from a.
+		if j > 0 && i < len(a) && !less(b[j-1], a[i]) {
+			// b[j-1] does not precede a[i], so the stable path emits
+			// a[i] before it: too few taken from a. (A plain
+			// less(a[i], b[j-1]) test here would tolerate ties on the
+			// boundary and let equal elements of b jump ahead of a's.)
 			lo = i + 1
 			continue
 		}
@@ -41,9 +45,11 @@ func CoRank[E any](d int, a, b []E, less func(x, y E) bool) (i, j int) {
 // handler to the last rounds of Figure 2, where there are fewer pending
 // merges than worker threads and pairwise parallelism alone runs dry.
 //
-// Unlike mergeInto, the result is sorted but ties between a and b may be
-// emitted in either order (the engine's entries are unordered on ties
-// anyway; use mergeInto where stability matters).
+// The merge is stable like mergeInto — on ties the element from a is
+// emitted first — because CoRank splits along the stable merge path, so
+// the output is byte-identical to mergeInto regardless of ways. The
+// spill tier depends on this: a budget-chunked sort followed by a stable
+// streaming merge must reproduce the in-memory order exactly.
 func ParallelMergeInto[E any](dst, a, b []E, less func(x, y E) bool, ways int) {
 	total := len(a) + len(b)
 	if len(dst) < total {

@@ -78,6 +78,49 @@ func TestParallelMergeIntoMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestParallelMergeIntoStable: with duplicate keys spanning CoRank
+// diagonals, the parallel merge must emit ties exactly as mergeInto does
+// (all of a's before all of b's). The spill tier's byte-identity proof
+// rests on this; tagged elements make a violated tie order visible where
+// plain uint64 values could not.
+func TestParallelMergeIntoStable(t *testing.T) {
+	type tagged struct {
+		key uint64
+		src int
+		seq int
+	}
+	r := rand.New(rand.NewSource(31))
+	less := func(x, y tagged) bool { return x.key < y.key }
+	for trial := 0; trial < 30; trial++ {
+		mk := func(src, n, domain int) []tagged {
+			s := make([]tagged, n)
+			for i := range s {
+				s[i].key = uint64(r.Intn(domain))
+			}
+			sort.Slice(s, func(i, j int) bool { return s[i].key < s[j].key })
+			for i := range s {
+				s[i].src, s[i].seq = src, i
+			}
+			return s
+		}
+		// Tiny domains force long tie runs across every split diagonal.
+		a := mk(0, 3000+r.Intn(6000), 1+r.Intn(8))
+		b := mk(1, 3000+r.Intn(6000), 1+r.Intn(8))
+		want := make([]tagged, len(a)+len(b))
+		mergeInto(want, a, b, less)
+		for _, ways := range []int{2, 3, 4, 7, 16} {
+			got := make([]tagged, len(a)+len(b))
+			ParallelMergeInto(got, a, b, less, ways)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d ways %d: tie order diverges at %d: %+v != %+v",
+						trial, ways, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
 func TestParallelMergeIntoEdgeCases(t *testing.T) {
 	// Empty operands.
 	got := make([]uint64, 3)

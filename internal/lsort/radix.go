@@ -95,8 +95,11 @@ func RadixSort[E any](s, scratch []E, key func(E) uint64, keyBits int) {
 // does (e.g. compare key images); it drives the merges.
 //
 // scratch must have at least len(s) elements; the result always ends in
-// s. Unlike sequential RadixSort, ties across chunk boundaries may be
-// reordered by the intra-merge parallelism (as with ParallelSort).
+// s. Like sequential RadixSort the sort is stable: chunk sorts are
+// stable and both the pairwise merges and the intra-merge CoRank splits
+// preserve left-run-first tie order, so the output is independent of the
+// worker count and chunk boundaries. The spill tier's differential
+// guarantee relies on this.
 func ParallelRadixSort[E any](s, scratch []E, key func(E) uint64, keyBits int, less func(x, y E) bool, workers int) {
 	n := len(s)
 	if workers < 1 {

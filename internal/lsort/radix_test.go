@@ -80,6 +80,36 @@ func TestRadixSortStable(t *testing.T) {
 	}
 }
 
+// TestParallelRadixSortStable: the chunked-parallel radix sort must be
+// stable for every worker count — equal keys keep input order across
+// chunk boundaries because the balanced merges and CoRank splits are
+// tie-stable. This pins the property the spill tier's budget-chunked
+// local sort relies on: the output is independent of chunking.
+func TestParallelRadixSortStable(t *testing.T) {
+	type rec struct {
+		key uint64
+		seq int
+	}
+	var s []rec
+	g := dist.Gen{Kind: dist.FewDistinct, Seed: 7}
+	for i, k := range g.Keys(60000) {
+		s = append(s, rec{key: k, seq: i})
+	}
+	want := append([]rec(nil), s...)
+	sort.SliceStable(want, func(i, j int) bool { return want[i].key < want[j].key })
+	for _, workers := range []int{1, 2, 3, 4, 8} {
+		got := append([]rec(nil), s...)
+		scratch := make([]rec, len(got))
+		ParallelRadixSort(got, scratch, func(r rec) uint64 { return r.key }, 64,
+			func(x, y rec) bool { return x.key < y.key }, workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: mismatch at %d: %+v != %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 // TestRadixSortKeyTypes runs the differential check over every codec key
 // type through its KeyNorm, including the float64 specials whose order
 // only the norm defines.

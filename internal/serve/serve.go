@@ -63,6 +63,14 @@ type Config struct {
 	// LocalSort / Merge force engine paths (default auto).
 	LocalSort core.LocalSortMode
 	Merge     core.MergeStrategy
+	// MemoryBudget caps each engine node's temporary memory; beyond it
+	// sorts spill block-file runs to SpillDir and stream them back
+	// (core.Options.MemoryBudget; the pgxsortd -mem-budget flag). Zero
+	// = unlimited (subject to PGXSORT_MEM_BUDGET), negative = explicitly
+	// unlimited.
+	MemoryBudget int64
+	// SpillDir is where spilled runs live (empty = system temp dir).
+	SpillDir string
 
 	// MaxInflight is each engine scheduler's global admission cap: how
 	// many sorts may be in flight at once across all tenants (default
@@ -289,5 +297,7 @@ func (c Config) engineOptions() core.Options {
 		LocalSort:      c.LocalSort,
 		Merge:          c.Merge,
 		MaxInflight:    c.MaxInflight,
+		MemoryBudget:   c.MemoryBudget,
+		SpillDir:       c.SpillDir,
 	}
 }
