@@ -46,14 +46,14 @@ func cmdSubmit(args []string) error {
 	if err != nil {
 		return fmt.Errorf("submit: %w", err)
 	}
-	raw, err := os.ReadFile(*in)
-	if err != nil {
-		return err
-	}
 	base := strings.TrimRight(*server, "/")
 	client := &http.Client{}
 	switch {
 	case *topk > 0:
+		raw, err := os.ReadFile(*in)
+		if err != nil {
+			return err
+		}
 		return submitQuery(client, base+"/v1/topk", map[string]any{
 			"tenant": *tenant, "key_type": string(kt),
 			"keys_b64": base64.StdEncoding.EncodeToString(raw),
@@ -61,6 +61,10 @@ func cmdSubmit(args []string) error {
 			"deadline_ms": deadlineMS(*deadline),
 		}, *retries)
 	case *rank != "":
+		raw, err := os.ReadFile(*in)
+		if err != nil {
+			return err
+		}
 		return submitQuery(client, base+"/v1/rank", map[string]any{
 			"tenant": *tenant, "key_type": string(kt),
 			"keys_b64":    base64.StdEncoding.EncodeToString(raw),
@@ -71,7 +75,37 @@ func cmdSubmit(args []string) error {
 		if *out == "" {
 			return fmt.Errorf("submit: -out required (or use -topk/-rank)")
 		}
-		return submitSort(client, base, kt, raw, *out, *tenant, *deadline, *noCache, *retries)
+		// Sort uploads stream straight from disk: the key file never
+		// sits whole in client memory, matching the server's streaming
+		// ingress on the other end.
+		return submitSort(client, base, kt, *in, *out, *tenant, *deadline, *noCache, *retries)
+	}
+}
+
+// bodyFunc opens one request body per attempt — retries cannot reuse a
+// consumed stream, so each attempt gets a fresh reader and its length.
+type bodyFunc func() (io.ReadCloser, int64, error)
+
+// bytesBody serves one in-memory payload (JSON queries).
+func bytesBody(b []byte) bodyFunc {
+	return func() (io.ReadCloser, int64, error) {
+		return io.NopCloser(bytes.NewReader(b)), int64(len(b)), nil
+	}
+}
+
+// fileBody streams one file from disk with its size as Content-Length.
+func fileBody(path string) bodyFunc {
+	return func() (io.ReadCloser, int64, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, 0, err
+		}
+		return f, st.Size(), nil
 	}
 }
 
@@ -101,9 +135,20 @@ func retryableStatus(code int) bool {
 // 429/503 busy answers up to retries times. A Retry-After header on a
 // busy answer overrides the exponential backoff — the server knows its
 // queue better than the client's clock does.
-func postWithRetry(client *http.Client, url, contentType string, body []byte, retries int) (*http.Response, error) {
+func postWithRetry(client *http.Client, url, contentType string, body bodyFunc, retries int) (*http.Response, error) {
 	for attempt := 0; ; attempt++ {
-		resp, err := client.Post(url, contentType, bytes.NewReader(body))
+		rc, length, err := body()
+		if err != nil {
+			return nil, err
+		}
+		req, err := http.NewRequest(http.MethodPost, url, rc)
+		if err != nil {
+			rc.Close()
+			return nil, err
+		}
+		req.Header.Set("Content-Type", contentType)
+		req.ContentLength = length
+		resp, err := client.Do(req)
 		if err != nil {
 			if attempt >= retries {
 				return nil, fmt.Errorf("submit: %w (after %d attempts)", err, attempt+1)
@@ -130,8 +175,10 @@ func postWithRetry(client *http.Client, url, contentType string, body []byte, re
 
 func deadlineMS(d time.Duration) int64 { return d.Milliseconds() }
 
-// submitSort POSTs the raw key bytes and writes the sorted bytes out.
-func submitSort(client *http.Client, base string, kt dist.KeyType, raw []byte, out, tenant string, deadline time.Duration, noCache bool, retries int) error {
+// submitSort streams the key file up and the sorted (possibly chunked)
+// answer back down to the output file — neither direction holds the
+// dataset whole in this process.
+func submitSort(client *http.Client, base string, kt dist.KeyType, in, out, tenant string, deadline time.Duration, noCache bool, retries int) error {
 	url := fmt.Sprintf("%s/v1/sort?key_type=%s", base, kt)
 	if tenant != "" {
 		url += "&tenant=" + tenant
@@ -142,7 +189,7 @@ func submitSort(client *http.Client, base string, kt dist.KeyType, raw []byte, o
 	if noCache {
 		url += "&no_cache=true"
 	}
-	resp, err := postWithRetry(client, url, "application/octet-stream", raw, retries)
+	resp, err := postWithRetry(client, url, "application/octet-stream", fileBody(in), retries)
 	if err != nil {
 		return err
 	}
@@ -150,11 +197,15 @@ func submitSort(client *http.Client, base string, kt dist.KeyType, raw []byte, o
 	if resp.StatusCode != http.StatusOK {
 		return serverError(resp)
 	}
-	sorted, err := io.ReadAll(resp.Body)
+	f, err := os.Create(out)
 	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(f, resp.Body); err != nil {
+		f.Close()
 		return fmt.Errorf("submit: reading response: %w", err)
 	}
-	if err := os.WriteFile(out, sorted, 0o644); err != nil {
+	if err := f.Close(); err != nil {
 		return err
 	}
 	fmt.Printf("job %s: wrote %s sorted keys to %s (cache %s)\n",
@@ -169,7 +220,7 @@ func submitQuery(client *http.Client, url string, body map[string]any, retries i
 	if err != nil {
 		return err
 	}
-	resp, err := postWithRetry(client, url, "application/json", buf, retries)
+	resp, err := postWithRetry(client, url, "application/json", bytesBody(buf), retries)
 	if err != nil {
 		return err
 	}

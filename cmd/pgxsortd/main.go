@@ -123,6 +123,10 @@ func buildConfig(args []string) (addr string, cfg serve.Config, err error) {
 	fallbackKeys := fs.Int("fallback-keys", 0, "largest job the degraded single-node fallback accepts (0 = max-keys, negative disables)")
 	memBudget := fs.String("mem-budget", "", "per-node temporary-memory budget (e.g. 64M, 2G); sorts spill block-file runs to -spill-dir beyond it")
 	spillDir := fs.String("spill-dir", "", "directory for spill run files (default: system temp dir)")
+	spoolThreshold := fs.String("spool-threshold", "", "octet-stream upload size past which the body spools to the spill tier (e.g. 8M; empty = 8M clamped to -mem-budget, 'off' keeps every upload resident)")
+	uploadTimeout := fs.Duration("upload-timeout", 0, "per-read idle deadline on streamed uploads; stalled clients get 408 (0 = 30s, negative disables)")
+	govBudget := fs.String("gov-budget", "", "process-wide memory governor budget (e.g. 256M); jobs that would exceed it answer 429/413 (empty disables gating)")
+	cacheEntryFrac := fs.Int("cache-entry-frac", 0, "cap single result-cache entries at cache budget divided by this (0 = default 8, 1 = any size that fits)")
 	failpoints := fs.String("failpoints", "", "failpoint spec site:mode[:nth[:count]][,...] for fault drills (also via "+failpoint.EnvVar+")")
 	if err = fs.Parse(args); err != nil {
 		return "", cfg, err
@@ -150,8 +154,18 @@ func buildConfig(args []string) (addr string, cfg serve.Config, err error) {
 	cfg.BreakerCooldown = *brCooldown
 	cfg.FallbackKeys = *fallbackKeys
 	cfg.SpillDir = *spillDir
+	cfg.UploadTimeout = *uploadTimeout
+	cfg.CacheEntryFrac = *cacheEntryFrac
 
 	if cfg.MemoryBudget, err = pgxsort.ParseMemBudget(*memBudget); err != nil {
+		return "", cfg, err
+	}
+	if *spoolThreshold == "off" {
+		cfg.SpoolThreshold = -1
+	} else if cfg.SpoolThreshold, err = pgxsort.ParseMemBudget(*spoolThreshold); err != nil {
+		return "", cfg, err
+	}
+	if cfg.GovernorBudget, err = pgxsort.ParseMemBudget(*govBudget); err != nil {
 		return "", cfg, err
 	}
 	if cfg.LocalSort, err = pgxsort.ParseLocalSortMode(*localSort); err != nil {

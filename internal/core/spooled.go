@@ -1,0 +1,554 @@
+package core
+
+import (
+	"cmp"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pgxsort/internal/alloc"
+	"pgxsort/internal/comm"
+	"pgxsort/internal/dist"
+	"pgxsort/internal/failpoint"
+	"pgxsort/internal/lsort"
+	"pgxsort/internal/spill"
+	"pgxsort/internal/transport"
+)
+
+// This file is the fully out-of-core sort path: the input arrives as a
+// spill run file (a streaming ingress landed it there) and the output
+// leaves as a cursor (streaming egress), so neither the input nor the
+// result is ever resident. The pipeline keeps the paper's step-1 shape —
+// each of the p nodes sorts its contiguous section of the input, here
+// into budget-sized sorted chunk runs on disk — and collapses the
+// exchange: instead of moving data to p owners and merging per owner,
+// one bounded fan-in k-way merge streams all runs straight to the
+// consumer. The exchange exists to move data between real machines; when
+// the dataset lives on disk and the answer is leaving over a socket
+// anyway, merging at egress is the classic external-merge-sort final
+// pass and saves a full write+read of the dataset. The keys come out in
+// the same total order every other path sorts under, so the canonical
+// encoded bytes are identical to the resident pipeline's for the same
+// key multiset.
+
+const (
+	// spoolMergeFanIn bounds how many runs one merge pass reads at once.
+	// A k-way merge holds a couple of decoded block slabs per run, so
+	// bounding k makes the merge's working set a fixed slack independent
+	// of how many chunk runs the dataset produced; extra passes show up
+	// honestly in SpillBytes/SpillReads.
+	spoolMergeFanIn = 8
+	// defaultSpoolChunkBytes sizes a node's sort chunk when no
+	// MemoryBudget is set: spooled inputs still sort chunk at a time —
+	// the point of the path is never holding the dataset.
+	defaultSpoolChunkBytes = 32 << 20
+	// minSpoolChunkEntries keeps pathological budgets from degenerating
+	// into per-entry runs.
+	minSpoolChunkEntries = 256
+)
+
+// spoolBlockBytes picks the block size for spooled run files: small
+// enough that a fan-in's worth of decoded block slabs stays a fraction
+// of the budget, large enough to compress and batch I/O.
+func spoolBlockBytes(budget int64) int {
+	if budget <= 0 {
+		return spill.DefaultBlockBytes
+	}
+	bb := budget / (4 * spoolMergeFanIn)
+	if bb < 4<<10 {
+		bb = 4 << 10
+	}
+	if bb > spill.DefaultBlockBytes {
+		bb = spill.DefaultBlockBytes
+	}
+	return int(bb)
+}
+
+// spoolChunkEntries sizes one node's sort chunk: half the budget for the
+// chunk, half for the sort scratch, floored so tiny budgets still make
+// progress.
+func spoolChunkEntries(budget, eb int64) int {
+	chunk := int(defaultSpoolChunkBytes / (2 * eb))
+	if budget > 0 {
+		chunk = int(budget / (2 * eb))
+	}
+	if chunk < minSpoolChunkEntries {
+		chunk = minSpoolChunkEntries
+	}
+	return chunk
+}
+
+// SpooledInput describes a dataset landed in a spill run file by a
+// streaming ingress: entries in arrival order, any key order. The file
+// must be a finished run holding at least N entries; it stays on disk
+// (owned by the caller) across attempts, which is what makes spool-read
+// failures retryable.
+type SpooledInput struct {
+	// Path is the finished spill run file.
+	Path string
+	// N is the entry count to sort (the ingress counted entries as they
+	// streamed in).
+	N int
+	// ReadSite, when non-empty, names a failpoint hit before every input
+	// batch read during run formation — the serve layer's
+	// serve/spool-read fault-injection arm. Injected errors wrap
+	// failpoint.ErrInjected and classify Transient: the spool file
+	// persists, so a scheduler retry re-reads it cleanly.
+	ReadSite string
+}
+
+// SpooledResult streams a spooled sort's output in sorted batches. It
+// holds open run readers and a scratch directory until Close, which also
+// folds the final I/O counters into Report. Batches follow the
+// lsort.Cursor contract: valid only until the following Next.
+type SpooledResult[K cmp.Ordered] struct {
+	// N is the entry count the stream will yield.
+	N int
+	// Report carries the run's measurements. SpillReads and
+	// TempPeakBytes settle at Close, once the stream has drained.
+	Report Report
+
+	cur      lsort.Cursor[comm.Entry[K]]
+	tracker  *alloc.Tracker
+	closers  []func() error
+	once     sync.Once
+	closeErr error
+}
+
+// Next yields the next sorted batch; a zero-length batch means the
+// stream is exhausted.
+func (r *SpooledResult[K]) Next() ([]comm.Entry[K], error) {
+	return r.cur.Next()
+}
+
+// TempPeakBytes reports the job's tracker-accounted temporary-memory
+// high-water mark so far — chunk slabs, sort scratch and decoded block
+// slabs. It can still grow until the stream is drained.
+func (r *SpooledResult[K]) TempPeakBytes() int64 { return r.tracker.Peak() }
+
+// Close releases readers, slabs and the scratch directory, and settles
+// Report. Idempotent.
+func (r *SpooledResult[K]) Close() error {
+	r.once.Do(func() {
+		for _, c := range r.closers {
+			if err := c(); err != nil && r.closeErr == nil {
+				r.closeErr = err
+			}
+		}
+		r.Report.TempPeakBytes = r.tracker.Peak()
+		if len(r.Report.PerNode) > 0 {
+			r.Report.PerNode[0].TempPeakBytes = r.tracker.Peak()
+		}
+	})
+	return r.closeErr
+}
+
+// addCloser appends a release hook run (in order) at Close.
+func (r *SpooledResult[K]) addCloser(f func() error) {
+	r.closers = append(r.closers, f)
+}
+
+// RunOneSpooled admits one spooled dataset through the scheduler's
+// shared gates and runs it under the retry policy. The admission slot is
+// held until the returned result is Closed — the stream holds engine
+// scratch until then, and releasing early would let unbounded spooled
+// streams pile up past the inflight cap. Retries cover failures during
+// run formation and merge priming, before any output byte exists; an
+// error mid-stream (from Next) is not retried, because output already
+// left.
+func (s *Scheduler[K]) RunOneSpooled(ctx context.Context, in SpooledInput) (*SpooledResult[K], error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case s.gates.admit <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	s.noteAdmit(1)
+	release := func() error {
+		s.noteAdmit(-1)
+		<-s.gates.admit
+		return nil
+	}
+	pol := s.opts.Retry.withDefaults()
+	backoff := pol.BaseBackoff
+	// Distinct RNG stream from the resident jobs' (see runAttempts).
+	rng := dist.NewRNG(pol.JitterSeed ^ 0x5B007ED50127AB1E)
+	for attempt := 1; ; attempt++ {
+		res, err := s.eng.SortSpooled(ctx, in)
+		if err == nil {
+			res.Report.Attempts = attempt
+			res.addCloser(release)
+			return res, nil
+		}
+		if attempt >= pol.MaxAttempts || Classify(err) != FailTransient || ctx.Err() != nil {
+			release()
+			return nil, err
+		}
+		if !s.takeRetryBudget(pol) {
+			release()
+			return nil, fmt.Errorf("core: retry budget exhausted after %d attempts: %w", attempt, err)
+		}
+		select {
+		case <-time.After(transport.Jitter(backoff, rng.Uint64())):
+		case <-ctx.Done():
+			release()
+			return nil, err
+		}
+		if backoff *= 2; backoff > pol.MaxBackoff {
+			backoff = pol.MaxBackoff
+		}
+		s.retries.Add(1)
+	}
+}
+
+// SortSpooled externally sorts a spooled input under the engine's memory
+// budget, returning a streaming result. Temporary memory — chunk slabs,
+// sort scratch, decoded block slabs — is tracker-accounted per job; the
+// working set is O(chunk + fanIn·block) per node, independent of N.
+func (e *Engine[K]) SortSpooled(ctx context.Context, in SpooledInput) (res *SpooledResult[K], err error) {
+	if in.Path == "" || in.N < 0 {
+		return nil, fmt.Errorf("core: bad spooled input (path %q, n %d)", in.Path, in.N)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p := e.opts.Procs
+	cmps := e.comparators()
+	eb := int64(entryBytes[K]())
+	budget := e.opts.MemoryBudget
+	blockBytes := spoolBlockBytes(budget)
+	chunk := spoolChunkEntries(budget, eb)
+
+	// Job-local tracker and pool: spooled jobs are rare and large, and a
+	// job-local tracker gives an honest per-job TempPeakBytes (the node
+	// trackers are engine-lifetime and shared across concurrent jobs).
+	tracker := &alloc.Tracker{}
+	var pool *alloc.SlabPool[comm.Entry[K]]
+	if !e.opts.DisablePooling {
+		pool = &alloc.SlabPool[comm.Entry[K]]{}
+	}
+	ropts := spill.ReaderOpts[K]{Pool: pool, Tracker: tracker, EntryBytes: eb}
+
+	parent := e.opts.SpillDir
+	if parent == "" {
+		parent = os.TempDir()
+	}
+	dir, err := os.MkdirTemp(parent, "pgxsort-spool-*")
+	if err != nil {
+		return nil, fmt.Errorf("core: spool scratch dir: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			os.RemoveAll(dir)
+		}
+	}()
+
+	start := time.Now()
+	var spillBytes, spillReads atomic.Int64
+
+	// Phase 1: run formation. Node i reads its contiguous section of the
+	// spool and writes sorted chunk runs that fit the budget.
+	type nodeOut struct {
+		runs []string
+		err  error
+	}
+	outs := make([]nodeOut, p)
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		lo := uint64(i) * uint64(in.N) / uint64(p)
+		hi := uint64(i+1) * uint64(in.N) / uint64(p)
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(node int, lo, hi uint64) {
+			defer wg.Done()
+			runs, rerr := e.formRuns(ctx, in, cmps, node, lo, hi, chunk, blockBytes,
+				dir, pool, tracker, eb, &spillBytes, &spillReads)
+			outs[node] = nodeOut{runs: runs, err: rerr}
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	var runs []string
+	for _, o := range outs {
+		if o.err != nil {
+			err = o.err
+			return nil, err
+		}
+		runs = append(runs, o.runs...)
+	}
+	localSortDur := time.Since(start)
+
+	// Phase 2: bounded fan-in merge. While more than fanIn runs remain,
+	// merge groups of fanIn into intermediate runs; the survivors feed
+	// the streaming final merge.
+	pass := 0
+	for len(runs) > spoolMergeFanIn {
+		var next []string
+		for g := 0; g < len(runs); g += spoolMergeFanIn {
+			end := min(g+spoolMergeFanIn, len(runs))
+			if end-g == 1 {
+				next = append(next, runs[g])
+				continue
+			}
+			out := filepath.Join(dir, fmt.Sprintf("merge-%d-%d.spill", pass, g))
+			if err = e.mergeRunsTo(ctx, cmps, runs[g:end], out, blockBytes, chunk,
+				pool, tracker, ropts, eb, &spillBytes, &spillReads); err != nil {
+				return nil, err
+			}
+			for _, r := range runs[g:end] {
+				os.Remove(r)
+			}
+			next = append(next, out)
+		}
+		runs = next
+		pass++
+	}
+
+	// Final merge: prime a streaming cursor over the surviving runs.
+	readers := make([]lsort.Cursor[comm.Entry[K]], 0, len(runs))
+	var open []*spill.RunReader[K]
+	closeAll := func() {
+		for _, r := range open {
+			r.Close()
+		}
+	}
+	for _, path := range runs {
+		rr, oerr := spill.NewRunReader(path, e.codec, ropts)
+		if oerr != nil {
+			closeAll()
+			err = oerr
+			return nil, err
+		}
+		open = append(open, rr)
+		readers = append(readers, rr)
+	}
+	batch := pool.Get(spoolBatchEntries(chunk))
+	tracker.Alloc(int64(len(batch)) * eb)
+	mc, merr := lsort.NewMergeCursor(readers, cmps.entryLess, batch)
+	if merr != nil {
+		tracker.Free(int64(len(batch)) * eb)
+		pool.Put(batch)
+		closeAll()
+		err = merr
+		return nil, err
+	}
+
+	res = &SpooledResult[K]{
+		N:       in.N,
+		cur:     mc,
+		tracker: tracker,
+	}
+	res.Report = Report{
+		Procs:         p,
+		Workers:       e.opts.WorkersPerProc,
+		N:             in.N,
+		LocalSortPath: cmps.path,
+		MergePath:     "spooled-kway+spill",
+		SpillBytes:    spillBytes.Load(),
+		SpillReads:    spillReads.Load(),
+		PerNode:       make([]NodeReport, 1),
+	}
+	res.Report.Steps[StepLocalSort] = localSortDur
+	res.addCloser(func() error {
+		tracker.Free(int64(len(batch)) * eb)
+		pool.Put(batch)
+		var first error
+		for _, r := range open {
+			spillReads.Add(r.BytesRead())
+			if cerr := r.Close(); cerr != nil && first == nil {
+				first = cerr
+			}
+		}
+		open = nil
+		res.Report.SpillReads = spillReads.Load()
+		res.Report.SpillBytes = spillBytes.Load()
+		res.Report.Total = time.Since(start)
+		if rerr := os.RemoveAll(dir); rerr != nil && first == nil {
+			first = rerr
+		}
+		return first
+	})
+	return res, nil
+}
+
+// spoolBatchEntries sizes the merge output batch: a fraction of the
+// chunk so the stream's granularity scales with the budget.
+func spoolBatchEntries(chunk int) int {
+	b := chunk / 4
+	if b < minSpoolChunkEntries {
+		b = minSpoolChunkEntries
+	}
+	return b
+}
+
+// formRuns is phase 1 for one node: stream the section, sort chunks
+// under the budget, spill each as a sorted run.
+func (e *Engine[K]) formRuns(ctx context.Context, in SpooledInput, cmps sortCmps[K],
+	node int, lo, hi uint64, chunk, blockBytes int, dir string,
+	pool *alloc.SlabPool[comm.Entry[K]], tracker *alloc.Tracker, eb int64,
+	spillBytes, spillReads *atomic.Int64) (runs []string, err error) {
+
+	sec, err := spill.NewRunReaderSection(in.Path, e.codec,
+		spill.ReaderOpts[K]{Pool: pool, Tracker: tracker, EntryBytes: eb}, lo, hi-lo)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		spillReads.Add(sec.BytesRead())
+		sec.Close()
+		if err != nil {
+			for _, r := range runs {
+				os.Remove(r)
+			}
+		}
+	}()
+
+	buf := pool.Get(chunk)
+	scratch := pool.Get(chunk)
+	tracker.Alloc(2 * int64(chunk) * eb)
+	defer func() {
+		tracker.Free(2 * int64(chunk) * eb)
+		pool.Put(buf)
+		pool.Put(scratch)
+	}()
+
+	var (
+		pending []comm.Entry[K] // unconsumed tail of the current batch
+		seq     uint32
+		done    bool
+	)
+	for !done {
+		if err = ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Fill one chunk from the section cursor.
+		fill := 0
+		for fill < chunk {
+			if len(pending) == 0 {
+				if in.ReadSite != "" {
+					if err = failpoint.HitNoPanic(in.ReadSite); err != nil {
+						return nil, err
+					}
+				}
+				if pending, err = sec.Next(); err != nil {
+					return nil, err
+				}
+				if len(pending) == 0 {
+					done = true
+					break
+				}
+			}
+			n := copy(buf[fill:chunk], pending)
+			// Restamp provenance: the spool holds arrival order from one
+			// ingress stream, but the sorted output's tie-break provenance
+			// is (section, position-in-section), matching the resident
+			// path's (node, index).
+			for j := fill; j < fill+n; j++ {
+				buf[j].Proc = uint32(node)
+				buf[j].Index = seq
+				seq++
+			}
+			fill += n
+			pending = pending[n:]
+		}
+		if fill == 0 {
+			break
+		}
+		entries := buf[:fill]
+		workers := e.opts.WorkersPerProc
+		if cmps.useRadix {
+			key := func(en comm.Entry[K]) uint64 { return cmps.norm(en.Key) }
+			lsort.ParallelRadixSort(entries, scratch[:fill], key, cmps.normBits, cmps.entryLess, workers)
+			if cmps.fallback {
+				lsort.SortEqualNormRuns(entries, key, cmps.entryLess)
+			}
+		} else {
+			lsort.ParallelSortScratch(entries, scratch[:fill], cmps.entryLess, workers)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("run-%d-%d.spill", node, len(runs)))
+		w, werr := spill.NewWriter(path, e.codec, blockBytes)
+		if werr != nil {
+			err = werr
+			return nil, err
+		}
+		if err = w.Append(entries); err != nil {
+			w.Abort()
+			return nil, err
+		}
+		if err = w.Finish(); err != nil {
+			return nil, err
+		}
+		spillBytes.Add(w.BytesWritten())
+		runs = append(runs, path)
+	}
+	return runs, nil
+}
+
+// mergeRunsTo streams one bounded fan-in merge pass: the group's runs
+// merge through a MergeCursor into a fresh run file.
+func (e *Engine[K]) mergeRunsTo(ctx context.Context, cmps sortCmps[K], group []string,
+	out string, blockBytes, chunk int, pool *alloc.SlabPool[comm.Entry[K]],
+	tracker *alloc.Tracker, ropts spill.ReaderOpts[K], eb int64,
+	spillBytes, spillReads *atomic.Int64) (err error) {
+
+	readers := make([]lsort.Cursor[comm.Entry[K]], 0, len(group))
+	var open []*spill.RunReader[K]
+	defer func() {
+		for _, r := range open {
+			spillReads.Add(r.BytesRead())
+			r.Close()
+		}
+	}()
+	for _, path := range group {
+		rr, oerr := spill.NewRunReader(path, e.codec, ropts)
+		if oerr != nil {
+			return oerr
+		}
+		open = append(open, rr)
+		readers = append(readers, rr)
+	}
+	batch := pool.Get(spoolBatchEntries(chunk))
+	tracker.Alloc(int64(len(batch)) * eb)
+	defer func() {
+		tracker.Free(int64(len(batch)) * eb)
+		pool.Put(batch)
+	}()
+	mc, err := lsort.NewMergeCursor(readers, cmps.entryLess, batch)
+	if err != nil {
+		return err
+	}
+	w, err := spill.NewWriter(out, e.codec, blockBytes)
+	if err != nil {
+		return err
+	}
+	for {
+		if err = ctx.Err(); err != nil {
+			w.Abort()
+			return err
+		}
+		part, merr := mc.Next()
+		if merr != nil {
+			w.Abort()
+			return merr
+		}
+		if len(part) == 0 {
+			break
+		}
+		if err = w.Append(part); err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	if err = w.Finish(); err != nil {
+		return err
+	}
+	spillBytes.Add(w.BytesWritten())
+	return nil
+}

@@ -35,6 +35,7 @@ var registry = []Experiment{
 	{"service", "sorting-as-a-service: concurrent clients vs pgxsortd (ISSUE 7)", ServiceExp},
 	{"soak", "self-healing soak: jobs under a randomized failpoint storm (ISSUE 8)", SoakExp},
 	{"spill", "out-of-core spill tier: memory budget vs throughput, byte-identity enforced (ISSUE 9)", SpillExp},
+	{"memstress", "bounded-memory service: body size vs budget, byte-identity and peak ceiling enforced (ISSUE 10)", MemStressExp},
 	{"ablation-investigator", "investigator on/off (DESIGN.md)", AblationInvestigator},
 	{"ablation-merge", "balanced vs k-way merge (DESIGN.md)", AblationMerge},
 	{"ablation-async", "async vs bulk-synchronous exchange (DESIGN.md)", AblationAsync},

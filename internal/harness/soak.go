@@ -29,6 +29,8 @@ var soakSites = []string{
 	"datamgr/assembly-write",
 	"serve/admission",
 	"serve/cache-put",
+	serve.FpSpoolWrite,
+	serve.FpSpoolRead,
 	spill.FpWriteBlock,
 	spill.FpReadBlock,
 }
@@ -65,8 +67,10 @@ func SoakExp(c Config) ([]Table, error) {
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("transport=%s, %d workers/proc, scheduler retry cap 4 attempts/job", c.Transport, c.Workers),
 		"each job first picks a failpoint (engine stage, datamgr assembly, spill block I/O, serve",
-		"admission/cache-put, or none) with a seeded mode (error/delay/panic) and hit number; a tiny",
-		"memory budget forces every job out of core so the spill arms hit real block reads and writes;",
+		"admission/cache-put/spool-write/spool-read, or none) with a seeded mode (error/delay/panic)",
+		"and hit number; a tiny memory budget forces every job out of core so the spill arms hit real",
+		"block reads and writes, and a spool threshold under the full-range bodies makes those uploads",
+		"stream through the spill tier so the spool arms fire against real upload run files;",
 		"armed counts jobs with an injection configured, fired those whose schedule actually triggered;",
 		"wrong_bytes compares every",
 		"200 against a local reference sort and MUST be 0; refused_503 is the admission site answering",
@@ -91,9 +95,14 @@ func (c Config) soakRound(procs, jobs, keysPerJob int) ([]string, error) {
 		// of core, so the storm's spill/write-block and spill/read-block
 		// arms have real block I/O to fail (and the healed retries prove
 		// the spill tier unwinds cleanly mid-batch).
-		MemoryBudget:  int64(keysPerJob), // ~1/10 of keysPerJob entries x ~10 wire bytes
-		SpillDir:      c.SpillDir,
-		RetryAttempts: retryAttempts,
+		MemoryBudget: int64(keysPerJob), // ~1/10 of keysPerJob entries x ~10 wire bytes
+		// ~4 wire bytes/key: the full-range distributions (~9.5 bytes/key)
+		// cross it and spool their uploads — arming serve/spool-write and
+		// serve/spool-read against real run files — while the small-domain
+		// ones stay resident and keep the cache-put arm live.
+		SpoolThreshold: int64(keysPerJob * 4),
+		SpillDir:       c.SpillDir,
+		RetryAttempts:  retryAttempts,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("soak: %w", err)

@@ -1,0 +1,126 @@
+package keyio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/iotest"
+)
+
+// drain pulls a decoder to EOF, collecting every key.
+func drain[K any](t *testing.T, d *StreamDecoder[K]) []K {
+	t.Helper()
+	var out []K
+	for {
+		var err error
+		out, err = d.Next(out)
+		if errors.Is(err, io.EOF) {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+	}
+}
+
+func TestStreamDecoderUint64(t *testing.T) {
+	keys := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = uint64(i) * 0x9E3779B97F4A7C15
+	}
+	raw := EncodeUint64s(keys)
+	// One byte per Read exercises every partial-word carry path.
+	d := NewStreamDecoder[uint64](iotest.OneByteReader(bytes.NewReader(raw)), ScanUint64s, 16)
+	got := drain(t, d)
+	if len(got) != len(keys) {
+		t.Fatalf("decoded %d keys, want %d", len(got), len(keys))
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("key %d: got %d, want %d", i, got[i], keys[i])
+		}
+	}
+	if d.BytesRead() != int64(len(raw)) {
+		t.Fatalf("BytesRead %d, want %d", d.BytesRead(), len(raw))
+	}
+}
+
+func TestStreamDecoderFloat64(t *testing.T) {
+	keys := []float64{0, -0.0, 1.5, -2.25, 1e300}
+	raw := EncodeFloat64s(keys)
+	d := NewStreamDecoder[float64](bytes.NewReader(raw), ScanFloat64s, 0)
+	got := drain(t, d)
+	round := EncodeFloat64s(got)
+	if !bytes.Equal(round, raw) {
+		t.Fatal("float64 stream did not round-trip bit-exactly")
+	}
+}
+
+func TestStreamDecoderStrings(t *testing.T) {
+	keys := []string{"", "a", "bb", strings.Repeat("x", 300), "tail"}
+	raw := EncodeStrings(keys)
+	// A 16-byte buffer is smaller than the 300-byte record, forcing the
+	// buffer-growth path.
+	d := NewStreamDecoder[string](iotest.OneByteReader(bytes.NewReader(raw)), ScanStrings, 16)
+	got := drain(t, d)
+	if len(got) != len(keys) {
+		t.Fatalf("decoded %d keys, want %d", len(got), len(keys))
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("key %d: got %q, want %q", i, got[i], keys[i])
+		}
+	}
+}
+
+func TestStreamDecoderTruncated(t *testing.T) {
+	u64 := EncodeUint64s([]uint64{1, 2, 3})
+	cases := map[string]struct {
+		raw  []byte
+		scan func(*testing.T, []byte) error
+	}{
+		"uint64 mid-word": {u64[:len(u64)-3], func(t *testing.T, raw []byte) error {
+			d := NewStreamDecoder[uint64](bytes.NewReader(raw), ScanUint64s, 0)
+			var err error
+			var keys []uint64
+			for err == nil {
+				keys, err = d.Next(keys[:0])
+			}
+			return err
+		}},
+		"string mid-body": {EncodeStrings([]string{"abc", "defgh"})[:9], func(t *testing.T, raw []byte) error {
+			d := NewStreamDecoder[string](bytes.NewReader(raw), ScanStrings, 0)
+			var err error
+			var keys []string
+			for err == nil {
+				keys, err = d.Next(keys[:0])
+			}
+			return err
+		}},
+	}
+	for name, tc := range cases {
+		if err := tc.scan(t, tc.raw); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("%s: got %v, want ErrTruncated", name, err)
+		}
+	}
+}
+
+func TestStreamDecoderReaderError(t *testing.T) {
+	boom := errors.New("boom")
+	raw := EncodeUint64s([]uint64{7, 8})
+	r := io.MultiReader(bytes.NewReader(raw), iotest.ErrReader(boom))
+	d := NewStreamDecoder[uint64](r, ScanUint64s, 0)
+	var keys []uint64
+	var err error
+	for err == nil {
+		keys, err = d.Next(keys)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the reader error", err)
+	}
+	if len(keys) != 2 {
+		t.Fatalf("decoded %d keys before the error, want 2", len(keys))
+	}
+}

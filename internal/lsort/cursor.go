@@ -1,5 +1,7 @@
 package lsort
 
+import "errors"
+
 // Cursor is a pull source of sorted elements, batch at a time — the
 // streaming counterpart of an in-memory run. Next returns the next batch
 // in sorted order; a zero-length batch means the stream is exhausted.
@@ -61,6 +63,84 @@ func MergeCursors[E any](dst []E, cursors []Cursor[E], less func(x, y E) bool) (
 			n += copy(dst[n:], batch)
 		}
 	}
+	t, err := newCursorTree(cursors, less)
+	if err != nil {
+		return 0, err
+	}
+	return t.pop(dst)
+}
+
+// MergeCursor is MergeCursors as a pull source: the same loser tree and
+// cursor-index tie rule, but yielding the merged stream batch by batch
+// instead of filling one destination slice. It is the egress side of a
+// fully out-of-core sort — the final merge of spilled runs can stream
+// straight into an HTTP response without a whole-result buffer.
+type MergeCursor[E any] struct {
+	t     *cursorTree[E]
+	one   Cursor[E] // k==1 fast path: batches pass through untouched
+	batch []E
+	err   error
+	done  bool
+}
+
+// NewMergeCursor merges cursors under less into a Cursor. batch is the
+// caller-owned output buffer: each Next fills up to len(batch) elements
+// and hands it back, so the caller controls the merge's resident
+// granularity. Priming the tree pulls one batch per cursor, which can
+// return a cursor error immediately.
+func NewMergeCursor[E any](cursors []Cursor[E], less func(x, y E) bool, batch []E) (*MergeCursor[E], error) {
+	switch len(cursors) {
+	case 0:
+		return &MergeCursor[E]{done: true}, nil
+	case 1:
+		return &MergeCursor[E]{one: cursors[0]}, nil
+	}
+	if len(batch) == 0 {
+		return nil, errEmptyMergeBatch
+	}
+	t, err := newCursorTree(cursors, less)
+	if err != nil {
+		return nil, err
+	}
+	return &MergeCursor[E]{t: t, batch: batch}, nil
+}
+
+var errEmptyMergeBatch = errors.New("lsort: MergeCursor needs a non-empty batch buffer")
+
+// Next implements Cursor. A cursor error surfaces after the elements
+// popped before it; the following Next returns the error itself.
+func (c *MergeCursor[E]) Next() ([]E, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.done {
+		return nil, nil
+	}
+	if c.one != nil {
+		return c.one.Next()
+	}
+	n, err := c.t.pop(c.batch)
+	if err != nil {
+		c.err = err
+		if n == 0 {
+			return nil, err
+		}
+		return c.batch[:n], nil
+	}
+	if n < len(c.batch) {
+		c.done = true
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	return c.batch[:n], nil
+}
+
+// newCursorTree primes a loser tree over the cursors: every cursor
+// contributes its first batch, and exhausted streams enter the
+// tournament as -1 (compares as +infinity).
+func newCursorTree[E any](cursors []Cursor[E], less func(x, y E) bool) (*cursorTree[E], error) {
+	k := len(cursors)
 	t := &cursorTree[E]{
 		less: less,
 		cur:  cursors,
@@ -69,13 +149,11 @@ func MergeCursors[E any](dst []E, cursors []Cursor[E], less func(x, y E) bool) (
 		tree: make([]int, k),
 		k:    k,
 	}
-	// Prime every cursor with its first batch; exhausted streams enter
-	// the tournament as -1 (compares as +infinity).
 	winners := make([]int, 2*k)
 	for i := 0; i < k; i++ {
 		winners[k+i] = i
 		if err := t.fill(i); err != nil {
-			return 0, err
+			return nil, err
 		}
 		if len(t.buf[i]) == 0 {
 			winners[k+i] = -1
@@ -90,9 +168,15 @@ func MergeCursors[E any](dst []E, cursors []Cursor[E], less func(x, y E) bool) (
 		}
 	}
 	t.tree[0] = winners[1]
+	return t, nil
+}
 
+// pop drains winners into dst until dst is full or every stream is
+// exhausted, returning the count filled. A fill error surfaces with the
+// elements popped before it.
+func (t *cursorTree[E]) pop(dst []E) (int, error) {
 	n := 0
-	for {
+	for n < len(dst) {
 		w := t.tree[0]
 		if w == -1 {
 			return n, nil
@@ -116,6 +200,7 @@ func MergeCursors[E any](dst []E, cursors []Cursor[E], less func(x, y E) bool) (
 		}
 		t.tree[0] = cand
 	}
+	return n, nil
 }
 
 // cursorTree is loserTree's batch-pulling sibling: leaves are cursor

@@ -4,7 +4,10 @@ import (
 	"cmp"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"net/http"
 	"strconv"
 	"strings"
 	"sync"
@@ -13,7 +16,9 @@ import (
 	"pgxsort/internal/comm"
 	"pgxsort/internal/core"
 	"pgxsort/internal/dist"
+	"pgxsort/internal/failpoint"
 	"pgxsort/internal/keyio"
+	"pgxsort/internal/spill"
 )
 
 // backend is one key domain's sorting surface: an engine plus its
@@ -43,6 +48,19 @@ type backend interface {
 	topk(raw []byte, k int, bottom bool) (*topkAnswer, error)
 	// rank counts keys below and equal to target (given as a string).
 	rank(raw []byte, target string) (*rankAnswer, error)
+	// ingest streams one octet-stream body through the incremental
+	// decoder: bodies at most threshold raw bytes accumulate resident
+	// (and re-encode byte-identically, so cache hashing still works),
+	// larger ones land in a spill-tier run file at spoolPath. A
+	// threshold < 0 disables spooling. blockBytes sizes the spool's
+	// blocks (0 = spill default); attempts bounds in-place retries of
+	// transient spool-write failures.
+	ingest(r io.Reader, spoolPath string, threshold int64, blockBytes, maxKeys, attempts int) (*ingestResult, *apiError)
+	// sortSpooledTo runs one spooled upload through the scheduler's
+	// out-of-core path and streams the canonical sorted bytes straight
+	// from the final-merge cursor to w — no whole-result buffer. The
+	// returned report carries the tracker-accounted TempPeakBytes.
+	sortSpooledTo(ctx context.Context, path string, n int, w io.Writer) (core.Report, error)
 	close() error
 }
 
@@ -91,6 +109,11 @@ type typedBackend[K cmp.Ordered] struct {
 	less   func(a, b K) bool // total order (floats: IEEE-754 total order)
 	gen    func(g dist.Gen, n int, prefix string) []K
 	fromJS func(json.RawMessage) (K, error)
+	// scan is the incremental ScanFunc for streaming ingress; codec is
+	// the same record codec the engine uses, so upload spool files are
+	// readable by the engine's spooled-sort readers.
+	scan  keyio.ScanFunc[K]
+	codec comm.Codec[K]
 }
 
 // newBackend builds the engine, scheduler and codec for one key domain.
@@ -112,6 +135,8 @@ func newBackend(kt dist.KeyType, cfg Config) (backend, error) {
 			less:   func(a, b uint64) bool { return a < b },
 			gen:    func(g dist.Gen, n int, _ string) []uint64 { return g.Keys(n) },
 			fromJS: jsonU64,
+			scan:   keyio.ScanUint64s,
+			codec:  comm.NewRecordCodec[uint64](comm.U64Codec{}),
 		}
 		return initBackend(b, cfg)
 	case dist.KeyFloat64:
@@ -127,6 +152,8 @@ func newBackend(kt dist.KeyType, cfg Config) (backend, error) {
 			less:   keyio.F64TotalLess,
 			gen:    func(g dist.Gen, n int, _ string) []float64 { return g.Floats(n) },
 			fromJS: jsonF64,
+			scan:   keyio.ScanFloat64s,
+			codec:  comm.NewRecordCodec[float64](comm.F64Codec{}),
 		}
 		return initBackend(b, cfg)
 	case dist.KeyString:
@@ -142,6 +169,8 @@ func newBackend(kt dist.KeyType, cfg Config) (backend, error) {
 			less:   func(a, b string) bool { return a < b },
 			gen:    func(g dist.Gen, n int, prefix string) []string { return g.Strings(n, prefix) },
 			fromJS: jsonStr,
+			scan:   keyio.ScanStrings,
+			codec:  comm.NewRecordCodec[string](comm.StringCodec{}),
 		}
 		return initBackend(b, cfg)
 	default:
@@ -273,6 +302,131 @@ func (b *typedBackend[K]) sortOn(ctx context.Context, sched *core.Scheduler[K], 
 		return nil, core.Report{}, err
 	}
 	return b.enc(res.Keys()), res.Report.Snapshot(), nil
+}
+
+// ingest streams one canonical body. While the raw stream fits the
+// threshold, decoded keys accumulate and re-encode byte-identically to
+// the input (the canonical encodings are bijective), so the resident
+// path feeds the same bytes to the cache hash that io.ReadAll used to.
+// Past the threshold the accumulation replays into a spill run file and
+// every further batch follows it — the body's resident footprint stays
+// one decoder window plus one batch, however large the upload.
+func (b *typedBackend[K]) ingest(r io.Reader, spoolPath string, threshold int64, blockBytes, maxKeys, attempts int) (*ingestResult, *apiError) {
+	dec := keyio.NewStreamDecoder(r, b.scan, 0)
+	var (
+		keys []K
+		w    *spill.Writer[K]
+		ents []comm.Entry[K]
+		n    int
+	)
+	fail := func(apiErr *apiError) (*ingestResult, *apiError) {
+		if w != nil {
+			w.Abort() // closes and removes the partial run file
+		}
+		return nil, apiErr
+	}
+	// spoolBatch appends one batch to the run file. An injected
+	// spool-write failure is Transient and the batch is still resident,
+	// so it retries in place instead of failing the whole upload.
+	spoolBatch := func(batch []K) *apiError {
+		ents = ents[:0]
+		for _, k := range batch {
+			ents = append(ents, comm.Entry[K]{Key: k})
+		}
+		for attempt := 1; ; attempt++ {
+			err := failpoint.HitNoPanic(FpSpoolWrite)
+			if err == nil {
+				err = w.Append(ents)
+			}
+			if err == nil {
+				return nil
+			}
+			if core.Classify(err) == core.FailTransient && attempt < attempts {
+				continue
+			}
+			return uploadError(err, b.kt)
+		}
+	}
+	batch := make([]K, 0, 4096)
+	for {
+		var err error
+		batch, err = dec.Next(batch[:0])
+		if len(batch) > 0 {
+			n += len(batch)
+			if n > maxKeys {
+				return fail(&apiError{http.StatusRequestEntityTooLarge,
+					fmt.Sprintf("%d keys exceeds the %d-key limit", n, maxKeys)})
+			}
+			if w == nil && threshold >= 0 && dec.BytesRead() > threshold {
+				sw, werr := spill.NewWriter(spoolPath, b.codec, blockBytes)
+				if werr != nil {
+					return fail(uploadError(werr, b.kt))
+				}
+				w = sw
+				if len(keys) > 0 {
+					if apiErr := spoolBatch(keys); apiErr != nil {
+						return fail(apiErr)
+					}
+					keys = nil
+				}
+			}
+			if w != nil {
+				if apiErr := spoolBatch(batch); apiErr != nil {
+					return fail(apiErr)
+				}
+			} else {
+				keys = append(keys, batch...)
+			}
+		}
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return fail(uploadError(err, b.kt))
+		}
+	}
+	if w != nil {
+		if err := w.Finish(); err != nil {
+			w.Abort()
+			return nil, uploadError(err, b.kt)
+		}
+		return &ingestResult{spool: spoolPath, n: n}, nil
+	}
+	return &ingestResult{resident: b.enc(keys), n: n}, nil
+}
+
+// sortSpooledTo runs one spooled upload out of core and streams the
+// answer: each final-merge batch re-encodes and goes straight to w, so
+// the response never exists whole in memory.
+func (b *typedBackend[K]) sortSpooledTo(ctx context.Context, path string, n int, w io.Writer) (core.Report, error) {
+	res, err := b.sched.RunOneSpooled(ctx, core.SpooledInput{Path: path, N: n, ReadSite: FpSpoolRead})
+	if err != nil {
+		return core.Report{}, err
+	}
+	keys := make([]K, 0, 4096)
+	for {
+		batch, berr := res.Next()
+		if berr != nil {
+			res.Close()
+			return core.Report{}, berr
+		}
+		if len(batch) == 0 {
+			break
+		}
+		keys = keys[:0]
+		for _, e := range batch {
+			keys = append(keys, e.Key)
+		}
+		if _, werr := w.Write(b.enc(keys)); werr != nil {
+			res.Close()
+			return core.Report{}, werr
+		}
+	}
+	// Close settles TempPeakBytes and the spill counters in the report.
+	if cerr := res.Close(); cerr != nil {
+		return core.Report{}, cerr
+	}
+	return res.Report.Snapshot(), nil
 }
 
 func (b *typedBackend[K]) topk(raw []byte, k int, bottom bool) (*topkAnswer, error) {

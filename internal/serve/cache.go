@@ -16,13 +16,14 @@ import (
 // exceed the byte budget. A nil budget (Config.CacheBytes < 0) disables
 // the cache entirely; every call is then a miss that never stores.
 type resultCache struct {
-	mu     sync.Mutex
-	budget int64
-	bytes  int64
-	lru    *list.List // front = most recently used; values are *cacheEntry
-	byKey  map[cacheKey]*list.Element
+	mu       sync.Mutex
+	budget   int64
+	maxEntry int64 // per-entry byte cap (budget/CacheEntryFrac)
+	bytes    int64
+	lru      *list.List // front = most recently used; values are *cacheEntry
+	byKey    map[cacheKey]*list.Element
 
-	hits, misses, evictions int64
+	hits, misses, evictions, skipped int64
 }
 
 type cacheKey [sha256.Size]byte
@@ -33,11 +34,15 @@ type cacheEntry struct {
 	n      int
 }
 
-func newResultCache(budget int64) *resultCache {
+func newResultCache(budget, entryFrac int64) *resultCache {
 	c := &resultCache{budget: budget}
 	if budget > 0 {
 		c.lru = list.New()
 		c.byKey = make(map[cacheKey]*list.Element)
+		c.maxEntry = budget
+		if entryFrac > 1 {
+			c.maxEntry = budget / entryFrac
+		}
 	}
 	return c
 }
@@ -78,11 +83,17 @@ func (c *resultCache) get(key cacheKey) ([]byte, int, bool) {
 }
 
 // put stores one result, evicting LRU entries past the byte budget.
-// Results larger than the whole budget are not stored.
+// Results larger than the per-entry cap are not stored: one huge
+// answer caching itself would evict the cache's whole working set for
+// a single entry that is cheap to recompute relative to its size.
 func (c *resultCache) put(key cacheKey, sorted []byte, n int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.byKey == nil || int64(len(sorted)) > c.budget {
+	if c.byKey == nil {
+		return
+	}
+	if int64(len(sorted)) > c.maxEntry {
+		c.skipped++
 		return
 	}
 	if el, ok := c.byKey[key]; ok {
@@ -102,7 +113,7 @@ func (c *resultCache) put(key cacheKey, sorted []byte, n int) {
 }
 
 // stats snapshots the cache counters for /metrics.
-func (c *resultCache) stats() (hits, misses, evictions, bytes, entries, budget int64) {
+func (c *resultCache) stats() (hits, misses, evictions, skipped, bytes, entries, budget int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	entries = 0
@@ -113,5 +124,5 @@ func (c *resultCache) stats() (hits, misses, evictions, bytes, entries, budget i
 	if budget < 0 {
 		budget = 0
 	}
-	return c.hits, c.misses, c.evictions, c.bytes, entries, budget
+	return c.hits, c.misses, c.evictions, c.skipped, c.bytes, entries, budget
 }

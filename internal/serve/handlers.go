@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -157,13 +158,20 @@ func (s *Server) maxBody() int64 {
 	return int64(s.cfg.MaxKeys)*24 + 1<<20
 }
 
-// decodeRequest parses the shared JSON body.
+// decodeRequest parses the shared JSON body. A body over the byte limit
+// is 413, not 400 — the JSON is not malformed, it is too big, and the
+// client should hear the same status the binary shape answers.
 func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*sortRequest, *apiError) {
 	body := http.MaxBytesReader(w, r.Body, s.maxBody())
 	var req sortRequest
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, &apiError{http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds the %d-byte limit", mbe.Limit)}
+		}
 		return nil, badRequest("invalid JSON body: %v", err)
 	}
 	return &req, nil
@@ -245,27 +253,29 @@ func (s *Server) jobCtx(r *http.Request, deadlineMS int64) (context.Context, con
 func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	binary := strings.HasPrefix(r.Header.Get("Content-Type"), "application/octet-stream")
+	id := s.jobID()
 	var req *sortRequest
 	var b backend
 	var raw []byte
 	var n int
 	var apiErr *apiError
+	var spool string
 	if binary {
 		req, apiErr = s.binarySortRequest(r)
 		if apiErr == nil {
 			b, apiErr = s.lookupBackend(req.KeyType)
 		}
 		if apiErr == nil {
-			body := http.MaxBytesReader(w, r.Body, s.maxBody())
-			data, err := io.ReadAll(body)
-			if err != nil {
-				apiErr = badRequest("reading body: %v", err)
-			} else if n, err = b.count(data); err != nil {
-				apiErr = badRequest("body is not canonical %s data: %v", b.keyType(), err)
-			} else if n > s.cfg.MaxKeys {
-				apiErr = &apiError{http.StatusRequestEntityTooLarge, fmt.Sprintf("%d keys exceeds the %d-key limit", n, s.cfg.MaxKeys)}
-			} else {
-				raw = data
+			// Streaming ingress: the body decodes as it arrives and never
+			// accumulates whole — past the spool threshold it lands in a
+			// spill-tier run file instead.
+			var ing *ingestResult
+			ing, apiErr = s.ingestBinary(w, r, b, req.RecBytes, id)
+			if apiErr == nil {
+				raw, n, spool = ing.resident, ing.n, ing.spool
+				if spool != "" {
+					defer os.Remove(spool)
+				}
 			}
 		}
 	} else {
@@ -286,9 +296,13 @@ func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	id := s.jobID()
 	log := func(status int, err error, cached bool, rep *core.Report) {
 		s.jobs.add(newJobRecord(id, req.Tenant, "sort", b.keyType(), n, status, err, cached, time.Since(start), rep))
+	}
+
+	if spool != "" {
+		s.runSortSpooled(w, r, id, b, req, spool, n, start, log)
+		return
 	}
 
 	// Cache probe: hits bypass admission entirely — a cached answer
@@ -303,6 +317,25 @@ func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Governor: a resident job holds its decoded keys, entry slabs and
+	// re-encoded result in this process; reserve that footprint before
+	// running, and shed load when the ledger is full.
+	need := residentJobBytes(n)
+	if s.gov.oversized(need) {
+		s.rejectRequest(w, "sort", &apiError{http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("job needs ~%d bytes resident, over the %d-byte memory budget", need, s.cfg.GovernorBudget)}, start)
+		return
+	}
+	if !s.gov.reserve(need) {
+		memErr := errors.New("memory budget exhausted; retry later")
+		s.met.jobDone("sort", strconv.Itoa(http.StatusTooManyRequests), time.Since(start))
+		s.met.reject("mem_budget")
+		log(http.StatusTooManyRequests, memErr, false, nil)
+		s.writeError(w, http.StatusTooManyRequests, memErr.Error())
+		return
+	}
+	defer s.gov.release(need)
+
 	sorted, rep, degraded, status, runErr := s.runSort(r, b, req, raw, n)
 	if runErr != nil {
 		s.met.jobDone("sort", strconv.Itoa(status), time.Since(start))
@@ -313,6 +346,7 @@ func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, status, runErr.Error())
 		return
 	}
+	s.gov.notePeak(rep.TempPeakBytes)
 	if !req.NoCache {
 		if ferr := failpoint.HitNoPanic(fpCachePut); ferr == nil {
 			s.cache.put(ckey, sorted, n)
@@ -321,6 +355,101 @@ func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
 	s.met.jobDone("sort", "200", time.Since(start))
 	log(http.StatusOK, nil, false, &rep)
 	s.writeSorted(w, r, binary, id, b, sorted, n, false, degraded, start, &rep)
+}
+
+// runSortSpooled takes one spooled upload through admission and streams
+// the sorted answer chunked, straight off the final-merge cursor. The
+// spooled path never touches the mesh — run formation and merging read
+// the spill tier on this node — so there is no breaker to consult and no
+// single-node fallback to degrade to. The result cache is bypassed too:
+// hashing the body would mean reading the spool twice, and an answer too
+// big to hold resident is exactly the answer a byte-budgeted cache must
+// not store.
+func (s *Server) runSortSpooled(w http.ResponseWriter, r *http.Request, id string, b backend, req *sortRequest, spool string, n int, start time.Time, log func(int, error, bool, *core.Report)) {
+	fail := func(status int, err error) {
+		s.met.jobDone("sort", strconv.Itoa(status), time.Since(start))
+		log(status, err, false, nil)
+		s.writeError(w, status, err.Error())
+	}
+
+	s.gov.noteSpooled()
+	need := spooledJobBytes(s.cfg.SpoolThreshold)
+	if s.gov.oversized(need) {
+		s.met.reject("too_large")
+		fail(http.StatusRequestEntityTooLarge,
+			fmt.Errorf("spooled job needs ~%d bytes resident, over the %d-byte memory budget", need, s.cfg.GovernorBudget))
+		return
+	}
+	if !s.gov.reserve(need) {
+		s.met.reject("mem_budget")
+		fail(http.StatusTooManyRequests, errors.New("memory budget exhausted; retry later"))
+		return
+	}
+	defer s.gov.release(need)
+
+	s.jobsWG.Add(1)
+	defer s.jobsWG.Done()
+	if s.draining.Load() {
+		fail(http.StatusServiceUnavailable, errors.New("server is draining"))
+		return
+	}
+	if ferr := failpoint.HitNoPanic(fpAdmission); ferr != nil {
+		fail(http.StatusServiceUnavailable, fmt.Errorf("admission refused: %w", ferr))
+		return
+	}
+	ctx, cancel := s.jobCtx(r, req.DeadlineMS)
+	defer cancel()
+	release, st := s.adm.begin(ctx, req.Tenant)
+	switch st {
+	case admitQueueFull:
+		s.met.reject("queue_full")
+		fail(http.StatusTooManyRequests, errors.New("admission queue is full; retry later"))
+		return
+	case admitDeadline:
+		if errors.Is(ctx.Err(), context.Canceled) {
+			fail(StatusClientClosedRequest, fmt.Errorf("client went away waiting for tenant slot: %w", ctx.Err()))
+		} else {
+			fail(http.StatusGatewayTimeout, fmt.Errorf("deadline expired waiting for tenant slot: %v", ctx.Err()))
+		}
+		return
+	}
+	defer release()
+	s.met.jobStart()
+	defer s.met.jobEnd()
+
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("X-Pgxsortd-Job", id)
+	h.Set("X-Pgxsortd-N", strconv.Itoa(n))
+	h.Set("X-Pgxsortd-Cache", "bypass")
+	h.Set("X-Pgxsortd-Spooled", "true")
+	// The measured peak only exists after the stream ends, so it rides a
+	// trailer; announce it before the first body write.
+	h.Set("Trailer", "X-Pgxsortd-Temp-Peak")
+	cw := &countingWriter{w: w}
+	rep, err := b.sortSpooledTo(ctx, spool, n, cw)
+	if err != nil {
+		if cw.n == 0 {
+			// Nothing on the wire yet: unstage the success headers and
+			// answer with a real error status.
+			for _, k := range []string{"Trailer", "X-Pgxsortd-Job", "X-Pgxsortd-N", "X-Pgxsortd-Cache", "X-Pgxsortd-Spooled"} {
+				h.Del(k)
+			}
+			status, serr := sortStatus(err)
+			fail(status, serr)
+			return
+		}
+		// Mid-stream failure: 200 is already on the wire, so cutting the
+		// connection is the only honest signal left to the client.
+		s.met.jobDone("sort", strconv.Itoa(http.StatusInternalServerError), time.Since(start))
+		log(http.StatusInternalServerError, err, false, nil)
+		panic(http.ErrAbortHandler)
+	}
+	h.Set("X-Pgxsortd-Temp-Peak", strconv.FormatInt(rep.TempPeakBytes, 10))
+	s.gov.notePeak(rep.TempPeakBytes)
+	s.met.absorb(&rep)
+	s.met.jobDone("sort", "200", time.Since(start))
+	log(http.StatusOK, nil, false, &rep)
 }
 
 // runSort takes one resolved dataset through admission and the engine.
@@ -488,6 +617,10 @@ func (s *Server) rejectRequest(w http.ResponseWriter, endpoint string, apiErr *a
 		s.met.reject("bad_request")
 	case http.StatusRequestEntityTooLarge:
 		s.met.reject("too_large")
+	case http.StatusRequestTimeout:
+		s.met.reject("slow_client")
+	case http.StatusInsufficientStorage:
+		s.met.reject("spool_disk_full")
 	}
 	s.writeError(w, apiErr.status, apiErr.msg)
 }

@@ -191,13 +191,20 @@ func (m *metrics) render(s *Server) string {
 		fmt.Fprintf(&b, "pgxsortd_breaker_opens_total{key_type=%q} %d\n", kt, opens)
 	}
 
-	hits, misses, evictions, bytes, entries, budget := s.cache.stats()
+	hits, misses, evictions, skipped, bytes, entries, budget := s.cache.stats()
 	fmt.Fprintf(&b, "# HELP pgxsortd_cache_hits_total Sort results served from the content-hash cache.\n# TYPE pgxsortd_cache_hits_total counter\npgxsortd_cache_hits_total %d\n", hits)
 	fmt.Fprintf(&b, "# HELP pgxsortd_cache_misses_total Cache probes that went to the engine.\n# TYPE pgxsortd_cache_misses_total counter\npgxsortd_cache_misses_total %d\n", misses)
 	fmt.Fprintf(&b, "# HELP pgxsortd_cache_evictions_total Entries evicted to stay under the byte budget.\n# TYPE pgxsortd_cache_evictions_total counter\npgxsortd_cache_evictions_total %d\n", evictions)
+	fmt.Fprintf(&b, "# HELP pgxsortd_cache_skipped_total Results not cached because they exceed the per-entry size cap.\n# TYPE pgxsortd_cache_skipped_total counter\npgxsortd_cache_skipped_total %d\n", skipped)
 	fmt.Fprintf(&b, "# HELP pgxsortd_cache_bytes Bytes currently held by cached results.\n# TYPE pgxsortd_cache_bytes gauge\npgxsortd_cache_bytes %d\n", bytes)
 	fmt.Fprintf(&b, "# HELP pgxsortd_cache_entries Results currently cached.\n# TYPE pgxsortd_cache_entries gauge\npgxsortd_cache_entries %d\n", entries)
 	fmt.Fprintf(&b, "# HELP pgxsortd_cache_budget_bytes Configured cache byte budget (0 when disabled).\n# TYPE pgxsortd_cache_budget_bytes gauge\npgxsortd_cache_budget_bytes %d\n", budget)
+
+	inuse, peak, spooled, gbudget := s.gov.stats()
+	fmt.Fprintf(&b, "# HELP pgxsortd_mem_inuse_bytes Memory-governor ledger: bytes reserved by admitted jobs right now.\n# TYPE pgxsortd_mem_inuse_bytes gauge\npgxsortd_mem_inuse_bytes %d\n", inuse)
+	fmt.Fprintf(&b, "# HELP pgxsortd_mem_peak_bytes Worst of the reservation high-water mark and any job's tracker-accounted engine peak.\n# TYPE pgxsortd_mem_peak_bytes gauge\npgxsortd_mem_peak_bytes %d\n", peak)
+	fmt.Fprintf(&b, "# HELP pgxsortd_mem_budget_bytes Configured governor budget (0 when admission gating is off).\n# TYPE pgxsortd_mem_budget_bytes gauge\npgxsortd_mem_budget_bytes %d\n", gbudget)
+	fmt.Fprintf(&b, "# HELP pgxsortd_spooled_jobs_total Uploads that crossed the spool threshold and sorted out of core.\n# TYPE pgxsortd_spooled_jobs_total counter\npgxsortd_spooled_jobs_total %d\n", spooled)
 	return b.String()
 }
 

@@ -221,7 +221,7 @@ func TestServeFailpointSites(t *testing.T) {
 // surviving entries, and evictions actually happened.
 func TestCacheEvictionUnderConcurrentWriters(t *testing.T) {
 	const budget = 64 << 10
-	c := newResultCache(budget)
+	c := newResultCache(budget, 1)
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
 		wg.Add(1)
@@ -241,7 +241,7 @@ func TestCacheEvictionUnderConcurrentWriters(t *testing.T) {
 	}
 	wg.Wait()
 
-	hits, misses, evictions, bytes, entries, _ := c.stats()
+	hits, misses, evictions, _, bytes, entries, _ := c.stats()
 	if bytes > budget {
 		t.Fatalf("cache holds %d bytes, budget %d", bytes, budget)
 	}

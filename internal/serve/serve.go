@@ -22,6 +22,7 @@ package serve
 import (
 	"fmt"
 	"net/http"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +43,9 @@ const (
 	DefaultRetryAttempts    = 3
 	DefaultBreakerThreshold = 1
 	DefaultBreakerCooldown  = 30 * time.Second
+	DefaultSpoolThreshold   = 8 << 20
+	DefaultUploadTimeout    = 30 * time.Second
+	DefaultCacheEntryFrac   = 8
 )
 
 // Config shapes one pgxsortd server. The zero value serves all three key
@@ -115,9 +119,44 @@ type Config struct {
 	// the mesh error instead. 0 means MaxKeys (everything the daemon
 	// accepts already fits in its memory); negative disables fallback.
 	FallbackKeys int
+
+	// SpoolThreshold is the octet-stream upload size (bytes) past which
+	// the body stops accumulating in memory and lands in a spill-tier
+	// run file instead; the job then takes the out-of-core spooled sort
+	// and streams its answer chunked. 0 means 8MB (clamped to the
+	// engine MemoryBudget when one is set, so a budgeted server never
+	// buffers more than its budget before spooling); negative disables
+	// spooling — every upload is resident, the pre-PR behaviour.
+	SpoolThreshold int64
+	// UploadTimeout is the per-read idle deadline on streamed uploads:
+	// a client that stalls longer than this mid-body gets 408 instead
+	// of holding a spool slot forever. Default 30s; negative disables.
+	UploadTimeout time.Duration
+	// GovernorBudget is the process-wide memory ledger's budget: jobs
+	// whose estimated resident footprint would push the ledger past it
+	// wait out as 429 (or 413 when a single job could never fit). 0
+	// disables gating; the ledger still tracks and exports its gauges.
+	GovernorBudget int64
+	// CacheEntryFrac caps single result-cache entries at
+	// CacheBytes/CacheEntryFrac: one huge result must not evict the
+	// whole cache to store itself once. Default 8; 1 allows any entry
+	// that fits the budget (the old behaviour).
+	CacheEntryFrac int
 }
 
 func (c Config) withDefaults() Config {
+	if c.MemoryBudget == 0 {
+		// Resolve the env fallback here rather than leaving it to each
+		// engine: the serve layer sizes upload spool blocks and clamps
+		// the spool threshold off the budget, and an env-budgeted daemon
+		// must not ingest uploads into unbudgeted 128KB blocks (the
+		// engine's section readers hold decoded slabs per block, so big
+		// blocks blow the accounted peak). Engines see the same value
+		// either way.
+		if b, err := core.ParseMemBudget(os.Getenv(core.MemBudgetEnv)); err == nil {
+			c.MemoryBudget = b
+		}
+	}
 	if c.TenantInflight <= 0 {
 		c.TenantInflight = DefaultTenantInflight
 	}
@@ -151,6 +190,18 @@ func (c Config) withDefaults() Config {
 	if c.FallbackKeys == 0 {
 		c.FallbackKeys = c.MaxKeys
 	}
+	if c.SpoolThreshold == 0 {
+		c.SpoolThreshold = DefaultSpoolThreshold
+		if c.MemoryBudget > 0 && c.MemoryBudget < c.SpoolThreshold {
+			c.SpoolThreshold = c.MemoryBudget
+		}
+	}
+	if c.UploadTimeout == 0 {
+		c.UploadTimeout = DefaultUploadTimeout
+	}
+	if c.CacheEntryFrac <= 0 {
+		c.CacheEntryFrac = DefaultCacheEntryFrac
+	}
 	return c
 }
 
@@ -166,6 +217,7 @@ type Server struct {
 	cache    *resultCache
 	met      *metrics
 	jobs     *jobLog
+	gov      *governor
 	mux      *http.ServeMux
 
 	draining  atomic.Bool
@@ -189,9 +241,10 @@ func New(cfg Config) (*Server, error) {
 		backends: make(map[dist.KeyType]backend, len(cfg.KeyTypes)),
 		breakers: make(map[dist.KeyType]*breaker, len(cfg.KeyTypes)),
 		adm:      newAdmission(cfg.QueueDepth, cfg.TenantInflight),
-		cache:    newResultCache(cfg.CacheBytes),
+		cache:    newResultCache(cfg.CacheBytes, int64(cfg.CacheEntryFrac)),
 		met:      newMetrics(),
 		jobs:     newJobLog(jobLogDepth),
+		gov:      newGovernor(cfg.GovernorBudget),
 	}
 	seen := make(map[dist.KeyType]bool)
 	for _, kt := range cfg.KeyTypes {

@@ -1,0 +1,332 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"slices"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"pgxsort/internal/core"
+	"pgxsort/internal/dist"
+	"pgxsort/internal/keyio"
+)
+
+// TestSpooledBinarySort uploads a body many times the spool threshold
+// and the engine memory budget: the job must spool, stream back chunked,
+// and stay byte-identical to a resident sort of the same keys — with the
+// tracker-accounted temp peak riding the trailer and staying far under
+// the dataset size.
+func TestSpooledBinarySort(t *testing.T) {
+	spillDir := t.TempDir()
+	_, ts := testServer(t, Config{
+		SpoolThreshold: 16 << 10,
+		MemoryBudget:   64 << 10,
+		SpillDir:       spillDir,
+	})
+
+	const n = 200_000 // 1.6MB raw, 100x the spool threshold
+	rng := dist.NewRNG(41)
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64() % 50_000 // heavy ties
+	}
+	raw := keyio.EncodeUint64s(keys)
+
+	resp, body := postBinary(t, ts.URL+"/v1/sort", raw)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if h := resp.Header.Get("X-Pgxsortd-Spooled"); h != "true" {
+		t.Fatalf("X-Pgxsortd-Spooled = %q, want true", h)
+	}
+	if h := resp.Header.Get("X-Pgxsortd-Cache"); h != "bypass" {
+		t.Fatalf("X-Pgxsortd-Cache = %q, want bypass", h)
+	}
+	if h := resp.Header.Get("X-Pgxsortd-N"); h != strconv.Itoa(n) {
+		t.Fatalf("X-Pgxsortd-N = %q, want %d", h, n)
+	}
+
+	sorted := slices.Clone(keys)
+	slices.Sort(sorted)
+	want := keyio.EncodeUint64s(sorted)
+	if !slices.Equal(body, want) {
+		t.Fatalf("spooled response diverges from resident sort (%d vs %d bytes)", len(body), len(want))
+	}
+
+	// The trailer carries the engine's measured temp peak: nonzero,
+	// bounded by per-node budget times procs plus fixed slack (decoded
+	// block slabs, merge batch), and strictly under the raw dataset —
+	// the proof nothing stayed resident.
+	peakStr := resp.Trailer.Get("X-Pgxsortd-Temp-Peak")
+	peak, err := strconv.ParseInt(peakStr, 10, 64)
+	if err != nil {
+		t.Fatalf("X-Pgxsortd-Temp-Peak trailer %q: %v", peakStr, err)
+	}
+	ceiling := int64(2*4*(64<<10) + 1<<20) // 2 x procs x MemoryBudget + slack
+	if peak <= 0 || peak > ceiling {
+		t.Fatalf("temp peak %d, want in (0, %d]", peak, ceiling)
+	}
+	if peak >= int64(len(raw)) {
+		t.Fatalf("temp peak %d not under the %d-byte upload — nothing was out of core", peak, len(raw))
+	}
+
+	// The upload spool and all engine scratch are gone.
+	waitForEmptyDir(t, spillDir)
+
+	_, exp := getBody(t, ts.URL+"/metrics")
+	if v := metricValue(t, exp, "pgxsortd_spooled_jobs_total"); v < 1 {
+		t.Fatalf("pgxsortd_spooled_jobs_total = %g, want >= 1", v)
+	}
+	if v := metricValue(t, exp, "pgxsortd_mem_peak_bytes"); int64(v) < peak {
+		t.Fatalf("pgxsortd_mem_peak_bytes = %g, want >= trailer peak %d", v, peak)
+	}
+}
+
+// TestSpooledBinarySortStrings covers the variable-width codec through
+// the same spooled round trip.
+func TestSpooledBinarySortStrings(t *testing.T) {
+	spillDir := t.TempDir()
+	_, ts := testServer(t, Config{
+		SpoolThreshold: 8 << 10,
+		MemoryBudget:   64 << 10,
+		SpillDir:       spillDir,
+		KeyTypes:       []dist.KeyType{dist.KeyString},
+	})
+
+	const n = 20_000
+	rng := dist.NewRNG(43)
+	keys := make([]string, n)
+	alpha := "abcdefghijklmnop"
+	for i := range keys {
+		b := []byte("prefixxx____")
+		for j := 8; j < len(b); j++ {
+			b[j] = alpha[rng.Uint64()%16]
+		}
+		keys[i] = string(b)
+	}
+	raw := keyio.EncodeStrings(keys)
+
+	resp, body := postBinary(t, ts.URL+"/v1/sort?key_type=string", raw)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if h := resp.Header.Get("X-Pgxsortd-Spooled"); h != "true" {
+		t.Fatalf("X-Pgxsortd-Spooled = %q, want true", h)
+	}
+	sorted := slices.Clone(keys)
+	slices.Sort(sorted)
+	if want := keyio.EncodeStrings(sorted); !slices.Equal(body, want) {
+		t.Fatalf("spooled string response diverges from resident sort")
+	}
+	waitForEmptyDir(t, spillDir)
+}
+
+// TestOversizedBodies413 checks both request shapes answer 413 — not
+// 400 — when the body trips MaxBytesReader or the key-count limit.
+func TestOversizedBodies413(t *testing.T) {
+	_, ts := testServer(t, Config{MaxKeys: 8, KeyTypes: []dist.KeyType{dist.KeyUint64}})
+
+	// JSON: a body past the byte limit dies inside MaxBytesReader while
+	// the decoder is mid-stream; that is "too large", not "bad request".
+	bigJSON := `{"keys_b64":"` + strings.Repeat("AAAA", 300_000) + `"}`
+	resp, err := http.Post(ts.URL+"/v1/sort", "application/json", strings.NewReader(bigJSON))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized JSON body: status %d, want 413", resp.StatusCode)
+	}
+
+	// Binary: the streaming ingest counts keys as they decode and
+	// refuses past MaxKeys without reading the rest.
+	raw := keyio.EncodeUint64s(make([]uint64, 9))
+	bresp, body := postBinary(t, ts.URL+"/v1/sort", raw)
+	if bresp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized binary body: status %d: %s", bresp.StatusCode, body)
+	}
+}
+
+// TestSlowClientUpload408 stalls an octet-stream upload mid-body past
+// the per-read deadline: the server must answer 408 instead of holding
+// the connection and its spool slot.
+func TestSlowClientUpload408(t *testing.T) {
+	_, ts := testServer(t, Config{
+		UploadTimeout: 150 * time.Millisecond,
+		KeyTypes:      []dist.KeyType{dist.KeyUint64},
+	})
+
+	conn, err := net.Dial("tcp", ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "POST /v1/sort HTTP/1.1\r\nHost: test\r\nContent-Type: application/octet-stream\r\nContent-Length: 800\r\n\r\n")
+	conn.Write(make([]byte, 16)) // two keys, then silence
+
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	status, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading response line: %v", err)
+	}
+	if !strings.Contains(status, "408") {
+		t.Fatalf("stalled upload answered %q, want 408", strings.TrimSpace(status))
+	}
+}
+
+// TestSpoolDisconnectNoOrphans cuts the connection after the upload has
+// crossed the spool threshold: the half-written run file must be aborted
+// and removed, leaving the spill dir empty.
+func TestSpoolDisconnectNoOrphans(t *testing.T) {
+	spillDir := t.TempDir()
+	_, ts := testServer(t, Config{
+		SpoolThreshold: 4 << 10,
+		SpillDir:       spillDir,
+		KeyTypes:       []dist.KeyType{dist.KeyUint64},
+	})
+
+	conn, err := net.Dial("tcp", ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	fmt.Fprintf(conn, "POST /v1/sort HTTP/1.1\r\nHost: test\r\nContent-Type: application/octet-stream\r\nContent-Length: 1048576\r\n\r\n")
+	// Push well past the threshold so the spool file exists on disk,
+	// then vanish.
+	conn.Write(keyio.EncodeUint64s(make([]uint64, 8192))) // 64KB of a promised 1MB
+	time.Sleep(50 * time.Millisecond)
+	conn.Close()
+
+	waitForEmptyDir(t, spillDir)
+}
+
+// TestGovernorOversized413 rejects a resident job whose estimated
+// footprint could never fit the governor budget.
+func TestGovernorOversized413(t *testing.T) {
+	_, ts := testServer(t, Config{
+		GovernorBudget: residentJobBytes(1000),
+		KeyTypes:       []dist.KeyType{dist.KeyUint64},
+	})
+	raw := keyio.EncodeUint64s(make([]uint64, 5000))
+	resp, body := postBinary(t, ts.URL+"/v1/sort", raw)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-budget job: status %d: %s", resp.StatusCode, body)
+	}
+	_, exp := getBody(t, ts.URL+"/metrics")
+	if v := metricValue(t, exp, "pgxsortd_mem_budget_bytes"); int64(v) != residentJobBytes(1000) {
+		t.Fatalf("pgxsortd_mem_budget_bytes = %g", v)
+	}
+}
+
+// TestGovernorLedger checks the reservation arithmetic directly:
+// admission gating, peak tracking, and release.
+func TestGovernorLedger(t *testing.T) {
+	g := newGovernor(1000)
+	if !g.reserve(600) {
+		t.Fatal("first reservation refused")
+	}
+	if g.reserve(600) {
+		t.Fatal("overcommitting reservation admitted")
+	}
+	if g.oversized(600) {
+		t.Fatal("600 of 1000 reported oversized")
+	}
+	if !g.oversized(1001) {
+		t.Fatal("1001 of 1000 not oversized")
+	}
+	if !g.reserve(400) {
+		t.Fatal("exact-fit reservation refused")
+	}
+	g.release(600)
+	g.notePeak(5000)
+	inuse, peak, _, budget := g.stats()
+	if inuse != 400 || peak != 5000 || budget != 1000 {
+		t.Fatalf("stats inuse=%d peak=%d budget=%d", inuse, peak, budget)
+	}
+
+	// Unlimited governors admit everything but still track.
+	u := newGovernor(0)
+	if !u.reserve(1 << 40) {
+		t.Fatal("unlimited governor refused a reservation")
+	}
+	if u.oversized(1 << 40) {
+		t.Fatal("unlimited governor reported oversized")
+	}
+}
+
+// TestCacheEntryCap checks one huge result cannot evict the whole cache
+// to store itself: it is skipped and counted.
+func TestCacheEntryCap(t *testing.T) {
+	c := newResultCache(1024, 8) // per-entry cap: 128 bytes
+	key := hashJob("uint64", 0, []byte("big"))
+	c.put(key, make([]byte, 512), 64)
+	if _, _, ok := c.get(key); ok {
+		t.Fatal("oversized entry was cached")
+	}
+	_, _, _, skipped, bytes, entries, _ := c.stats()
+	if skipped != 1 || bytes != 0 || entries != 0 {
+		t.Fatalf("skipped=%d bytes=%d entries=%d, want 1/0/0", skipped, bytes, entries)
+	}
+	small := hashJob("uint64", 0, []byte("small"))
+	c.put(small, make([]byte, 100), 12)
+	if _, _, ok := c.get(small); !ok {
+		t.Fatal("under-cap entry was not cached")
+	}
+}
+
+// waitForEmptyDir polls until dir holds no entries — spool cleanup runs
+// in the handler after the response, so a short grace period applies.
+func waitForEmptyDir(t *testing.T, dir string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("ReadDir: %v", err)
+		}
+		if len(ents) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			names := make([]string, len(ents))
+			for i, e := range ents {
+				names[i] = filepath.Join(dir, e.Name())
+			}
+			t.Fatalf("orphaned spill-tier files: %v", names)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestEnvBudgetResolvesInServeConfig pins the env fallback at the serve
+// layer: a daemon budgeted only via PGXSORT_MEM_BUDGET must size its
+// upload spool blocks and clamp its spool threshold exactly as one
+// budgeted through the flag, or uploads land in unbudgeted 128KB blocks
+// and the spooled sort's decoded slabs blow the accounted peak.
+func TestEnvBudgetResolvesInServeConfig(t *testing.T) {
+	t.Setenv(core.MemBudgetEnv, "64k")
+	cfg := Config{}.withDefaults()
+	if cfg.MemoryBudget != 64<<10 {
+		t.Fatalf("MemoryBudget = %d, want %d (from %s)", cfg.MemoryBudget, 64<<10, core.MemBudgetEnv)
+	}
+	if cfg.SpoolThreshold != 64<<10 {
+		t.Fatalf("SpoolThreshold = %d, want clamped to the %d budget", cfg.SpoolThreshold, 64<<10)
+	}
+	if bb := uploadBlockBytes(cfg.MemoryBudget); bb != 4<<10 {
+		t.Fatalf("uploadBlockBytes(%d) = %d, want %d", cfg.MemoryBudget, bb, 4<<10)
+	}
+
+	// An explicit budget still wins over the env.
+	cfg = Config{MemoryBudget: 128 << 10}.withDefaults()
+	if cfg.MemoryBudget != 128<<10 {
+		t.Fatalf("explicit MemoryBudget = %d, want %d", cfg.MemoryBudget, 128<<10)
+	}
+}

@@ -53,6 +53,13 @@ type RunReader[K any] struct {
 	prev []comm.Entry[K] // batch handed out by the last Next
 	done bool
 
+	// Section bounds (NewRunReaderSection): skip entries dropped from the
+	// first kept block, limit entries emitted in total. limited gates the
+	// trimming so whole-run readers pay nothing.
+	limited bool
+	skip    int
+	limit   uint64
+
 	bytesRead atomic.Int64
 }
 
@@ -70,6 +77,51 @@ func NewRunReader[K any](path string, c comm.Codec[K], opts ReaderOpts[K]) (*Run
 		f.Close()
 		return nil, err
 	}
+	r.ch = make(chan decoded[K], 1)
+	r.stop = make(chan struct{})
+	go r.prefetch(r.stop)
+	return r, nil
+}
+
+// NewRunReaderSection opens entries [offset, offset+limit) of a finished
+// run file as their own cursor. Blocks wholly outside the section are
+// never read or decoded — the index's per-block counts locate the first
+// and last overlapping block — so p section readers over one spooled
+// input file scan p disjoint byte ranges. Bounds are clamped to the run;
+// Count reports the section's entry count.
+func NewRunReaderSection[K any](path string, c comm.Codec[K], opts ReaderOpts[K], offset, limit uint64) (*RunReader[K], error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("spill: open run file: %w", err)
+	}
+	r := &RunReader[K]{f: f, codec: c, opts: opts}
+	if err := r.loadIndex(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if offset > r.total {
+		offset = r.total
+	}
+	if limit > r.total-offset {
+		limit = r.total - offset
+	}
+	// Walk the index to the first block containing offset, then to the
+	// first block past offset+limit.
+	first, cum := 0, uint64(0)
+	for first < len(r.index) && cum+uint64(r.index[first].count) <= offset {
+		cum += uint64(r.index[first].count)
+		first++
+	}
+	end, reach := first, cum
+	for end < len(r.index) && reach < offset+limit {
+		reach += uint64(r.index[end].count)
+		end++
+	}
+	r.index = r.index[first:end]
+	r.limited = true
+	r.skip = int(offset - cum)
+	r.limit = limit
+	r.total = limit
 	r.ch = make(chan decoded[K], 1)
 	r.stop = make(chan struct{})
 	go r.prefetch(r.stop)
@@ -153,6 +205,7 @@ func (r *RunReader[K]) prefetch(stop <-chan struct{}) {
 	var stored, raw []byte
 	var fr io.ReadCloser
 	br := bytes.NewReader(nil)
+	emitted := uint64(0)
 	for i := range r.index {
 		batch, err := r.readBlock(&r.index[i], &stored, &raw, &fr, br)
 		if err != nil {
@@ -162,6 +215,24 @@ func (r *RunReader[K]) prefetch(stop <-chan struct{}) {
 			}
 			return
 		}
+		if r.limited {
+			lo := 0
+			if i == 0 {
+				lo = r.skip
+			}
+			hi := len(batch)
+			if remain := r.limit - emitted; uint64(hi-lo) > remain {
+				hi = lo + int(remain)
+			}
+			batch = r.trimBatch(batch, lo, hi)
+			emitted += uint64(len(batch))
+			if len(batch) == 0 {
+				// An empty batch would read as end-of-run; only possible
+				// for a zero-length section, which has no blocks anyway.
+				r.recycle(batch)
+				return
+			}
+		}
 		select {
 		case r.ch <- decoded[K]{entries: batch}:
 		case <-stop:
@@ -169,6 +240,26 @@ func (r *RunReader[K]) prefetch(stop <-chan struct{}) {
 			return
 		}
 	}
+}
+
+// trimBatch narrows a decoded block to its section overlap. The trimmed
+// entries move to a fresh slab so slab recycling and tracker accounting
+// keep seeing whole allocations; at most two blocks per section (first
+// and last) pay the copy.
+func (r *RunReader[K]) trimBatch(batch []comm.Entry[K], lo, hi int) []comm.Entry[K] {
+	if lo == 0 && hi == len(batch) {
+		return batch
+	}
+	fresh := r.opts.Pool.Get(hi - lo)
+	if fresh == nil { // nil pool, zero-length trim
+		fresh = make([]comm.Entry[K], hi-lo)
+	}
+	copy(fresh, batch[lo:hi])
+	if r.opts.Tracker != nil {
+		r.opts.Tracker.Alloc(int64(len(fresh)) * r.opts.EntryBytes)
+	}
+	r.recycle(batch)
+	return fresh
 }
 
 // readBlock fetches, verifies and decodes one block. stored/raw/fr/br

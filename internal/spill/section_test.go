@@ -1,0 +1,96 @@
+package spill
+
+import (
+	"testing"
+
+	"pgxsort/internal/alloc"
+	"pgxsort/internal/comm"
+)
+
+// TestRunReaderSection slices one run file at every tricky boundary and
+// checks each section is exactly the corresponding subslice, with slab
+// accounting balanced to zero.
+func TestRunReaderSection(t *testing.T) {
+	const n = 2000
+	entries := make([]comm.Entry[uint64], n)
+	for i := range entries {
+		entries[i] = comm.Entry[uint64]{Key: uint64(i) * 3, Proc: 1, Index: uint32(i)}
+	}
+	// Small blocks so sections straddle many block boundaries.
+	path := writeRun(t, entries, comm.U64Codec{}, 256)
+
+	sections := []struct{ off, limit uint64 }{
+		{0, n},     // whole run
+		{0, 1},     // first entry only
+		{n - 1, 1}, // last entry only
+		{7, 500},   // mid-block start, mid-block end
+		{0, n / 2}, // first half
+		{n / 2, n}, // second half, limit clamped
+		{n, 5},     // past the end: empty
+		{500, 0},   // zero-length
+		{123, 1},   // single mid-run entry
+	}
+	pool := &alloc.SlabPool[comm.Entry[uint64]]{}
+	var tracker alloc.Tracker
+	eb := int64(40)
+	for _, s := range sections {
+		r, err := NewRunReaderSection(path, comm.U64Codec{},
+			ReaderOpts[uint64]{Pool: pool, Tracker: &tracker, EntryBytes: eb}, s.off, s.limit)
+		if err != nil {
+			t.Fatalf("section [%d,+%d): %v", s.off, s.limit, err)
+		}
+		got := readAll(t, r)
+		lo := min(s.off, n)
+		hi := min(s.off+s.limit, n)
+		want := entries[lo:hi]
+		if uint64(len(got)) != uint64(len(want)) || r.Count() != uint64(len(want)) {
+			t.Fatalf("section [%d,+%d): %d entries (Count %d), want %d",
+				s.off, s.limit, len(got), r.Count(), len(want))
+		}
+		for i := range want {
+			if got[i].Key != want[i].Key || got[i].Index != want[i].Index {
+				t.Fatalf("section [%d,+%d) entry %d: got key %d idx %d, want key %d idx %d",
+					s.off, s.limit, i, got[i].Key, got[i].Index, want[i].Key, want[i].Index)
+			}
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if live := tracker.Live(); live != 0 {
+			t.Fatalf("section [%d,+%d): %d tracked bytes live after Close", s.off, s.limit, live)
+		}
+	}
+}
+
+// TestRunReaderSectionTiling reads a run as p disjoint sections and
+// checks their concatenation reproduces the whole run — the contract the
+// spooled sort's per-node section readers rely on.
+func TestRunReaderSectionTiling(t *testing.T) {
+	const n = 1777
+	entries := make([]comm.Entry[uint64], n)
+	for i := range entries {
+		entries[i] = comm.Entry[uint64]{Key: uint64(i * 7)}
+	}
+	path := writeRun(t, entries, comm.U64Codec{}, 300)
+	for _, p := range []int{1, 2, 3, 8} {
+		var all []comm.Entry[uint64]
+		for i := 0; i < p; i++ {
+			lo := uint64(i * n / p)
+			hi := uint64((i + 1) * n / p)
+			r, err := NewRunReaderSection(path, comm.U64Codec{}, ReaderOpts[uint64]{}, lo, hi-lo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, readAll(t, r)...)
+			r.Close()
+		}
+		if len(all) != n {
+			t.Fatalf("p=%d: tiled sections yield %d entries, want %d", p, len(all), n)
+		}
+		for i := range all {
+			if all[i].Key != entries[i].Key {
+				t.Fatalf("p=%d: entry %d key %d, want %d", p, i, all[i].Key, entries[i].Key)
+			}
+		}
+	}
+}
